@@ -1,0 +1,64 @@
+// Context for the paper's related-work positioning (Sec. 1.2/2.2): ESR vs
+// the checkpoint/restart and interpolation-restart baselines on the same
+// failure scenario — failure-free overhead, time with psi failures, and
+// iterations to convergence.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpcg;
+  using namespace rpcg::bench;
+  const CommonArgs args = CommonArgs::parse(argc, argv);
+  const Options o(argc, argv);
+  const int psi = static_cast<int>(o.get_int("psi", 3));
+  const int ckpt_interval = static_cast<int>(o.get_int("ckpt-interval", 25));
+
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "Baseline comparison: ESR (phi = %d) vs checkpoint/restart "
+                "(interval %d) vs interpolation-restart, psi = %d failures at "
+                "center, 50%% progress",
+                psi, ckpt_interval, psi);
+  print_header(title, args);
+  std::printf("%-4s %-22s %13s %13s %10s %12s\n", "ID", "method",
+              "no-fail t [s]", "fail t [s]", "iters", "recovery[s]");
+
+  for (const long idx : args.matrices) {
+    const auto mat = repro::make_matrix(static_cast<int>(idx), args.scale);
+    repro::ExperimentRunner runner(mat.matrix, args.config());
+    const auto loc = repro::FailureLocation::kCenter;
+
+    // ESR.
+    {
+      const auto nofail = runner.run_undisturbed(psi, 1);
+      const auto fail = runner.run_with_failures(psi, psi, loc, 0.5, 2);
+      std::printf("%-4s %-22s %13.4f %13.4f %10d %12.4f\n", mat.id.c_str(),
+                  "esr", nofail.sim_time, fail.sim_time, fail.iterations,
+                  fail.sim_time_phase[static_cast<int>(Phase::kRecovery)]);
+    }
+    // Checkpoint/restart.
+    {
+      const auto nofail = runner.run_baseline_failure_free(
+          RecoveryMethod::kCheckpointRestart, ckpt_interval, 1);
+      const auto fail = runner.run_baseline(
+          RecoveryMethod::kCheckpointRestart, psi, loc, 0.5, ckpt_interval, 2);
+      std::printf("%-4s %-22s %13.4f %13.4f %10d %12.4f\n", mat.id.c_str(),
+                  "checkpoint-restart", nofail.sim_time, fail.sim_time,
+                  fail.iterations,
+                  fail.sim_time_phase[static_cast<int>(Phase::kRecovery)]);
+    }
+    // Interpolation-restart.
+    {
+      const auto nofail = runner.run_reference(1);  // zero failure-free overhead
+      const auto fail = runner.run_baseline(
+          RecoveryMethod::kInterpolationRestart, psi, loc, 0.5, 0, 2);
+      std::printf("%-4s %-22s %13.4f %13.4f %10d %12.4f\n", mat.id.c_str(),
+                  "interpolation-restart", nofail.sim_time, fail.sim_time,
+                  fail.iterations,
+                  fail.sim_time_phase[static_cast<int>(Phase::kRecovery)]);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benches: option handling and table
+// printing. Every bench binary accepts
+//   --scale S     problem size = paper size / S          (default 16)
+//   --nodes N     simulated cluster size                 (default 128)
+//   --reps R      repetitions per configuration          (default 3)
+//   --noise CV    timing jitter coefficient of variation (default 0.02)
+//   --matrices L  comma-separated matrix indices, e.g. 1,5,8 (default all)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "repro/harness.hpp"
+#include "repro/matrices.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+
+namespace rpcg::bench {
+
+struct CommonArgs {
+  double scale = 16.0;
+  int nodes = 128;
+  int reps = 3;
+  double noise = 0.02;
+  std::vector<long> matrices{1, 2, 3, 4, 5, 6, 7, 8};
+
+  static CommonArgs parse(int argc, char** argv) {
+    const Options o(argc, argv);
+    CommonArgs a;
+    a.scale = o.get_double("scale", a.scale);
+    a.nodes = static_cast<int>(o.get_int("nodes", a.nodes));
+    a.reps = static_cast<int>(o.get_int("reps", a.reps));
+    a.noise = o.get_double("noise", a.noise);
+    a.matrices = o.get_int_list("matrices", a.matrices);
+    return a;
+  }
+
+  [[nodiscard]] repro::ExperimentConfig config() const {
+    repro::ExperimentConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.reps = reps;
+    cfg.noise_cv = noise;
+    return cfg;
+  }
+};
+
+inline void print_header(const std::string& title, const CommonArgs& a) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# scale=1/%.0f of paper size, N=%d simulated nodes, reps=%d, "
+              "noise cv=%.2f, times are model (simulated) seconds\n",
+              a.scale, a.nodes, a.reps, a.noise);
+}
+
+inline void print_box(const char* label, const Summary& s) {
+  std::printf("%-28s med=%9.4f  q1=%9.4f  q3=%9.4f  whiskers=[%9.4f, %9.4f]\n",
+              label, s.median, s.q1, s.q3, s.whisker_lo, s.whisker_hi);
+}
+
+}  // namespace rpcg::bench

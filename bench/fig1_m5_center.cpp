@@ -1,0 +1,10 @@
+// Fig. 1 of the paper: matrix M5 (Emilia_923 analogue), failures introduced
+// close to the center of the vectors. Expected shape: reconstruction is
+// cheap, the overhead comes almost entirely from the redundant-copy
+// communication (orange boxes close to blue boxes).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return rpcg::bench::run_figure(5, rpcg::repro::FailureLocation::kCenter, argc,
+                                 argv, "Fig. 1");
+}

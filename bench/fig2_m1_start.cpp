@@ -1,0 +1,10 @@
+// Fig. 2 of the paper: matrix M1 (parabolic_fem analogue), failures at the
+// start (lower indices) of the vectors. The paper highlights that a run with
+// failures can occasionally finish *faster* than the failure-free run when
+// the reconstruction perturbs the iteration into earlier convergence.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return rpcg::bench::run_figure(1, rpcg::repro::FailureLocation::kStart, argc,
+                                 argv, "Fig. 2");
+}

@@ -1,0 +1,10 @@
+// Fig. 3 of the paper: matrix M8 (audikw_1 analogue, the widest band),
+// failures at the center. Expected shape: the overhead grows superlinearly
+// with the number of copies but stays small (the dense band already carries
+// most elements to their backups during SpMV).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return rpcg::bench::run_figure(8, rpcg::repro::FailureLocation::kCenter, argc,
+                                 argv, "Fig. 3");
+}

@@ -1,0 +1,71 @@
+// Shared driver for Figs. 1-3 of the paper: for one matrix and one failure
+// location, print the reference band, and for copies in {1,3,8} the box
+// statistics of failure-free runs (blue boxes) and runs with psi = phi
+// simultaneous failures at 20/50/80 % progress (orange boxes), plus the
+// relative overhead of the box medians.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace rpcg::bench {
+
+inline int run_figure(int matrix_index, repro::FailureLocation loc, int argc,
+                      char** argv, const char* figure_name) {
+  const CommonArgs args = CommonArgs::parse(argc, argv);
+  const Options o(argc, argv);
+  const std::vector<long> phis = o.get_int_list("phis", {1, 3, 8});
+
+  const auto mat = repro::make_matrix(matrix_index, args.scale);
+  repro::ExperimentRunner runner(mat.matrix, args.config());
+
+  char title[160];
+  std::snprintf(title, sizeof title, "%s: %s, failures at %s", figure_name,
+                mat.id.c_str(), repro::to_string(loc).c_str());
+  print_header(title, args);
+
+  std::vector<double> ref_samples;
+  for (int r = 0; r < args.reps; ++r)
+    ref_samples.push_back(runner.run_reference(100 + r).sim_time);
+  const Summary ref = summarize(ref_samples);
+  std::printf("reference PCG: %s s (band: +/- one stddev)\n\n",
+              mean_pm_std(ref, 4).c_str());
+
+  for (const long phi : phis) {
+    std::vector<double> undisturbed;
+    for (int r = 0; r < args.reps; ++r)
+      undisturbed.push_back(
+          runner.run_undisturbed(static_cast<int>(phi), 200 + r).sim_time);
+    const Summary u = summarize(undisturbed);
+
+    std::vector<double> with_failures;
+    int seed = 300;
+    for (const double progress : {0.2, 0.5, 0.8}) {
+      for (int r = 0; r < args.reps; ++r) {
+        with_failures.push_back(
+            runner
+                .run_with_failures(static_cast<int>(phi), static_cast<int>(phi),
+                                   loc, progress,
+                                   static_cast<std::uint64_t>(seed++))
+                .sim_time);
+      }
+    }
+    const Summary w = summarize(with_failures);
+
+    std::printf("copies/failures = %ld\n", phi);
+    char label[64];
+    std::snprintf(label, sizeof label, "  no failures (blue box)");
+    print_box(label, u);
+    std::snprintf(label, sizeof label, "  %ld failures (orange box)", phi);
+    print_box(label, w);
+    std::printf("  relative overhead: undisturbed %+.1f%%, with failures %+.1f%%\n\n",
+                repro::overhead_pct(u.median, ref.mean),
+                repro::overhead_pct(w.median, ref.mean));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace rpcg::bench

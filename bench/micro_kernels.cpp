@@ -1,0 +1,160 @@
+// Google-benchmark microbenchmarks of the kernels underlying the solver:
+// sequential SpMV, the distributed SpMV with halo exchange, preconditioner
+// applications, the factorizations, the redundancy-scheme construction, and
+// the backup record/gather path. Real wall-clock time (the table/figure
+// benches report model time; these kernels are what the compute model
+// abstracts).
+#include <benchmark/benchmark.h>
+
+#include "core/backup_store.hpp"
+#include "core/redundancy.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sim/collectives.hpp"
+#include "sim/dist_matrix.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ic0.hpp"
+#include "sparse/ldlt.hpp"
+
+namespace {
+
+using namespace rpcg;
+
+CsrMatrix bench_matrix() { return poisson3d_7pt(24, 24, 24); }  // 13824 rows
+
+void BM_SeqSpmv(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SeqSpmv);
+
+void BM_DistSpmv(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  const Partition part =
+      Partition::block_rows(a.rows(), static_cast<int>(state.range(0)));
+  Cluster cluster(part, CommParams{});
+  const DistMatrix d = DistMatrix::distribute(a, part);
+  DistVector x(part), y(part);
+  std::vector<double> g(static_cast<std::size_t>(a.rows()), 1.0);
+  x.set_global(g);
+  std::vector<std::vector<double>> halos;
+  for (auto _ : state) {
+    d.spmv(cluster, x, y, halos, Phase::kIteration);
+    benchmark::DoNotOptimize(y.block(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_DistSpmv)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BlockJacobiApply(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  const Partition part = Partition::block_rows(a.rows(), 64);
+  Cluster cluster(part, CommParams{});
+  const BlockJacobiPreconditioner m(a, part);
+  DistVector r(part), z(part);
+  std::vector<double> g(static_cast<std::size_t>(a.rows()), 1.0);
+  r.set_global(g);
+  for (auto _ : state) {
+    m.apply(cluster, r, z, Phase::kIteration);
+    benchmark::DoNotOptimize(z.block(0).data());
+  }
+}
+BENCHMARK(BM_BlockJacobiApply);
+
+void BM_LdltFactor(benchmark::State& state) {
+  const CsrMatrix a =
+      poisson2d_5pt(static_cast<Index>(state.range(0)), state.range(0));
+  for (auto _ : state) {
+    auto f = SparseLdlt::factor(a);
+    benchmark::DoNotOptimize(f->l_nnz());
+  }
+}
+BENCHMARK(BM_LdltFactor)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Ic0FactorAndSolve(benchmark::State& state) {
+  const CsrMatrix a = poisson2d_5pt(48, 48);
+  const auto ic = Ic0::factor(a);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> x(b.size());
+  for (auto _ : state) {
+    ic->solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Ic0FactorAndSolve);
+
+void BM_RedundancySchemeBuild(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  const Partition part = Partition::block_rows(a.rows(), 128);
+  const DistMatrix d = DistMatrix::distribute(a, part);
+  const int phi = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto scheme = RedundancyScheme::build(d.scatter_plan(), part, phi,
+                                          BackupStrategy::kPaperAlternating);
+    benchmark::DoNotOptimize(scheme.total_extra_elements());
+  }
+}
+BENCHMARK(BM_RedundancySchemeBuild)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_BackupRecord(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  const Partition part = Partition::block_rows(a.rows(), 128);
+  const DistMatrix d = DistMatrix::distribute(a, part);
+  const auto scheme = RedundancyScheme::build(d.scatter_plan(), part, 3,
+                                              BackupStrategy::kPaperAlternating);
+  BackupStore store;
+  store.configure(d.scatter_plan(), scheme, part);
+  DistVector p(part);
+  std::vector<double> g(static_cast<std::size_t>(a.rows()), 1.0);
+  p.set_global(g);
+  for (auto _ : state) {
+    store.record(p);
+  }
+}
+BENCHMARK(BM_BackupRecord);
+
+void BM_GatherLost(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix();
+  const Partition part = Partition::block_rows(a.rows(), 128);
+  const DistMatrix d = DistMatrix::distribute(a, part);
+  const auto scheme = RedundancyScheme::build(d.scatter_plan(), part, 3,
+                                              BackupStrategy::kPaperAlternating);
+  BackupStore store;
+  store.configure(d.scatter_plan(), scheme, part);
+  DistVector p(part);
+  std::vector<double> g(static_cast<std::size_t>(a.rows()), 1.0);
+  p.set_global(g);
+  store.record(p);
+  store.record(p);
+  Cluster cluster(part, CommParams{});
+  for (NodeId f = 0; f < 3; ++f) cluster.fail_node(f);
+  const auto rows = part.rows_of_set(std::vector<NodeId>{0, 1, 2});
+  for (auto _ : state) {
+    auto got = store.gather_lost(cluster, rows);
+    benchmark::DoNotOptimize(got.cur.data());
+  }
+}
+BENCHMARK(BM_GatherLost);
+
+void BM_DotPair(benchmark::State& state) {
+  const Partition part = Partition::block_rows(1 << 20, 128);
+  Cluster cluster(part, CommParams{});
+  DistVector r(part), z(part);
+  std::vector<double> g(static_cast<std::size_t>(part.n()), 1.5);
+  r.set_global(g);
+  z.set_global(g);
+  for (auto _ : state) {
+    auto d = dot_pair(cluster, r, z, Phase::kIteration);
+    benchmark::DoNotOptimize(d.rz);
+  }
+}
+BENCHMARK(BM_DotPair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

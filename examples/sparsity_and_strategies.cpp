@@ -1,0 +1,88 @@
+// The sparsity pattern governs the cost of resilience (Sec. 5 of the paper).
+//
+// This example shows, without running a single solve, how the redundancy
+// overhead of phi = 3 copies differs across sparsity patterns and
+// backup-target strategies — and how an RCM reordering can move a matrix
+// into the cheap regime by clustering its nonzeros near the diagonal.
+#include <cstdio>
+
+#include "core/redundancy.hpp"
+#include "sim/dist_matrix.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rpcg;
+
+void report(const char* name, const CsrMatrix& a, int nodes, int phi) {
+  const Partition part = Partition::block_rows(a.rows(), nodes);
+  const DistMatrix dist = DistMatrix::distribute(a, part);
+  const CommModel model{CommParams{}};
+  const auto base = dist.scatter_plan().comm_cost_per_node(model);
+  double base_max = 0.0;
+  for (const double c : base) base_max = std::max(base_max, c);
+  std::printf("%-34s bandwidth=%6lld, base SpMV comm: %.3e s/iter\n", name,
+              static_cast<long long>(a.bandwidth()), base_max);
+  for (const BackupStrategy strat :
+       {BackupStrategy::kPaperAlternating, BackupStrategy::kGreedyOverlap,
+        BackupStrategy::kRing, BackupStrategy::kRandom}) {
+    const auto scheme =
+        RedundancyScheme::build(dist.scatter_plan(), part, phi, strat, 3);
+    std::printf("    %-18s extra elements/iter: %8lld, new messages: %4d, "
+                "model overhead: %.3e s\n",
+                to_string(strat).c_str(),
+                static_cast<long long>(scheme.total_extra_elements()),
+                scheme.extra_latency_messages(),
+                scheme.per_iteration_overhead(model));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = 32;
+  const int phi = 3;
+  std::printf("redundancy cost of phi = %d copies on %d nodes\n\n", phi, nodes);
+
+  // A dense periodic band wide enough that every element already reaches
+  // phi neighbours during SpMV: zero extra traffic (the Sec. 5 sweet spot).
+  const Index n = 8192;
+  report("periodic band, half-band 2n/N", banded_spd(n, 2 * n / nodes, 1.0, 1, true),
+         nodes, phi);
+
+  // A narrow band: elements reach only 1 neighbour, copies must be added,
+  // but they piggyback on existing messages.
+  report("narrow band, half-band n/(4N)", banded_spd(n, n / (4 * nodes), 1.0, 1, true),
+         nodes, phi);
+
+  // A circuit-like irregular pattern with long-range couplings.
+  report("circuit-like (irregular)", circuit_like(90, 90, 0.02, 5), nodes, phi);
+
+  // A diagonal matrix: the worst case — every copy is extra traffic on a
+  // fresh connection.
+  report("diagonal (no SpMV traffic)", CsrMatrix::identity(n), nodes, phi);
+
+  // RCM: scramble a banded matrix, then restore locality by reordering.
+  // Note what moves: scrambling barely changes the *redundancy* overhead
+  // (elements are scattered to >= phi nodes anyway, so the copies ride for
+  // free) — it explodes the *base* SpMV communication. RCM restores the
+  // band, collapsing the base cost again. Resilience is cheap exactly when
+  // the matrix is communicated like a band matrix.
+  {
+    const CsrMatrix banded = banded_spd(n, 2 * n / nodes, 1.0, 2, true);
+    Rng rng(13);
+    std::vector<Index> shuffle(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) shuffle[static_cast<std::size_t>(i)] = i;
+    for (std::size_t i = shuffle.size() - 1; i > 0; --i)
+      std::swap(shuffle[i], shuffle[rng.uniform_index(i + 1)]);
+    const CsrMatrix scrambled = banded.permuted_symmetric(shuffle);
+    std::printf("\n-- the same band matrix, randomly permuted --\n");
+    report("scrambled band", scrambled, nodes, phi);
+    const auto rcm = rcm_ordering(scrambled);
+    std::printf("-- after RCM reordering --\n");
+    report("RCM(scrambled band)", scrambled.permuted_symmetric(rcm), nodes, phi);
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "core/backup_store.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+void BackupStore::configure(const ScatterPlan& plan,
+                            const RedundancyScheme& scheme,
+                            const Partition& partition) {
+  partition_ = &partition;
+  blocks_.clear();
+  const int nn = partition.num_nodes();
+  by_src_.assign(static_cast<std::size_t>(nn), {});
+  by_dst_.assign(static_cast<std::size_t>(nn), {});
+
+  // Union of halo traffic and designated extras per ordered pair.
+  std::map<std::pair<NodeId, NodeId>, std::vector<Index>> pair_indices;
+  for (const auto& m : plan.messages()) {
+    auto& v = pair_indices[{m.src, m.dst}];
+    v.insert(v.end(), m.indices.begin(), m.indices.end());
+  }
+  for (NodeId i = 0; i < nn; ++i) {
+    for (const auto& round : scheme.rounds_of(i)) {
+      if (round.extra.empty()) continue;
+      auto& v = pair_indices[{i, round.target}];
+      v.insert(v.end(), round.extra.begin(), round.extra.end());
+    }
+  }
+
+  for (auto& [key, indices] : pair_indices) {
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    RetainedBlock b;
+    b.src = key.first;
+    b.dst = key.second;
+    b.cur.assign(indices.size(), 0.0);
+    b.prev.assign(indices.size(), 0.0);
+    b.indices = std::move(indices);
+    const int id = static_cast<int>(blocks_.size());
+    by_src_[static_cast<std::size_t>(b.src)].push_back(id);
+    by_dst_[static_cast<std::size_t>(b.dst)].push_back(id);
+    blocks_.push_back(std::move(b));
+  }
+}
+
+void BackupStore::record(const DistVector& p) {
+  RPCG_REQUIRE(partition_ != nullptr, "store not configured");
+  for (auto& b : blocks_) {
+    if (!b.valid) continue;  // nothing is recorded on a failed node
+    b.prev.swap(b.cur);
+    const auto src_block = p.block(b.src);
+    const Index base = partition_->begin(b.src);
+    for (std::size_t k = 0; k < b.indices.size(); ++k)
+      b.cur[k] = src_block[static_cast<std::size_t>(b.indices[k] - base)];
+  }
+}
+
+void BackupStore::invalidate_node(NodeId d) {
+  RPCG_REQUIRE(partition_ != nullptr, "store not configured");
+  for (const int id : by_dst_[static_cast<std::size_t>(d)]) {
+    auto& b = blocks_[static_cast<std::size_t>(id)];
+    std::fill(b.cur.begin(), b.cur.end(), 0.0);
+    std::fill(b.prev.begin(), b.prev.end(), 0.0);
+    b.valid = false;
+  }
+}
+
+std::optional<BackupStore::Found> BackupStore::lookup(const Cluster& cluster,
+                                                      NodeId owner, Index global,
+                                                      int gen) const {
+  RPCG_CHECK(gen == 0 || gen == 1, "gen must be 0 (cur) or 1 (prev)");
+  for (const int id : by_src_[static_cast<std::size_t>(owner)]) {
+    const auto& b = blocks_[static_cast<std::size_t>(id)];
+    if (!b.valid || !cluster.is_alive(b.dst)) continue;
+    const auto it = std::lower_bound(b.indices.begin(), b.indices.end(), global);
+    if (it == b.indices.end() || *it != global) continue;
+    const auto off = static_cast<std::size_t>(it - b.indices.begin());
+    return Found{b.dst, gen == 0 ? b.cur[off] : b.prev[off]};
+  }
+  return std::nullopt;
+}
+
+BackupStore::Gathered BackupStore::gather_lost(Cluster& cluster,
+                                               std::span<const Index> rows) const {
+  RPCG_REQUIRE(partition_ != nullptr, "store not configured");
+  Gathered out;
+  out.cur.resize(rows.size());
+  out.prev.resize(rows.size());
+  // elements each holder sends to each replacement (for the cost model)
+  std::map<std::pair<NodeId, NodeId>, Index> traffic;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const Index s = rows[k];
+    const NodeId owner = partition_->owner(s);
+    const auto cur = lookup(cluster, owner, s, 0);
+    const auto prev = lookup(cluster, owner, s, 1);
+    if (!cur.has_value() || !prev.has_value()) {
+      throw UnrecoverableFailure(
+          "element " + std::to_string(s) +
+          " of failed node " + std::to_string(owner) +
+          " has no surviving copy (more failures than phi?)");
+    }
+    out.cur[k] = cur->value;
+    out.prev[k] = prev->value;
+    traffic[{cur->holder, owner}] += 1;
+    traffic[{prev->holder, owner}] += 1;
+    out.elements_transferred += 2;
+  }
+  // Serialized sends per holder; the round costs the slowest holder.
+  std::vector<double> per_holder(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
+  for (const auto& [key, count] : traffic)
+    per_holder[static_cast<std::size_t>(key.first)] +=
+        cluster.comm().message_cost(count);
+  cluster.charge_parallel_seconds(Phase::kRecovery, per_holder);
+  return out;
+}
+
+void BackupStore::re_arm(Cluster& cluster, std::span<const NodeId> replacements,
+                         const DistVector& p, const DistVector& p_prev) {
+  RPCG_REQUIRE(partition_ != nullptr, "store not configured");
+  std::vector<double> per_src(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
+  for (const NodeId d : replacements) {
+    for (const int id : by_dst_[static_cast<std::size_t>(d)]) {
+      auto& b = blocks_[static_cast<std::size_t>(id)];
+      RPCG_REQUIRE(cluster.is_alive(b.src),
+                   "re-arm requires the source to be alive or already recovered");
+      const auto pc = p.block(b.src);
+      const auto pp = p_prev.block(b.src);
+      const Index base = partition_->begin(b.src);
+      for (std::size_t k = 0; k < b.indices.size(); ++k) {
+        const auto off = static_cast<std::size_t>(b.indices[k] - base);
+        b.cur[k] = pc[off];
+        b.prev[k] = pp[off];
+      }
+      b.valid = true;
+      per_src[static_cast<std::size_t>(b.src)] +=
+          cluster.comm().message_cost(2 * static_cast<Index>(b.indices.size()));
+    }
+  }
+  cluster.charge_parallel_seconds(Phase::kRecovery, per_src);
+}
+
+Index BackupStore::retained_elements_on(NodeId d) const {
+  Index total = 0;
+  for (const int id : by_dst_[static_cast<std::size_t>(d)])
+    total += 2 * static_cast<Index>(blocks_[static_cast<std::size_t>(id)].indices.size());
+  return total;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,95 @@
+// The retained redundant data: what every node keeps, beyond its own block,
+// of the two most recent search directions p^(j) and p^(j-1) — the SpMV halo
+// it receives anyway (retention rule) plus the designated extra sets Rc_ik.
+// A node failure destroys the store entries *on* the failed node; the
+// reconstruction gathers lost elements from surviving holders through a
+// tailored plan (the deterministic alternative to PETSc's reverse scatter
+// discussed in Sec. 6 of the paper).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/redundancy.hpp"
+#include "sim/cluster.hpp"
+#include "sim/dist_vector.hpp"
+#include "sim/scatter_plan.hpp"
+
+namespace rpcg {
+
+/// Thrown when a lost element has no surviving copy (more failures than the
+/// configured redundancy can tolerate).
+class UnrecoverableFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BackupStore {
+ public:
+  BackupStore() = default;
+
+  /// Lays out the retained blocks: one per ordered node pair (src, dst) with
+  /// traffic, holding the union of S_{src,dst} and the extra sets Rc
+  /// targeted at dst. Values start at zero (p^(-1) = 0, consistent with the
+  /// j = 0 reconstruction where beta^(-1) = 0).
+  void configure(const ScatterPlan& plan, const RedundancyScheme& scheme,
+                 const Partition& partition);
+
+  /// Called once per SpMV, after the halo exchange of p^(j): rotates the
+  /// generations (cur -> prev) and records the freshly sent values.
+  void record(const DistVector& p);
+
+  /// A node failure destroys everything retained on node d.
+  void invalidate_node(NodeId d);
+
+  /// Looks up a surviving copy of element `global` (owned by `owner`) in
+  /// generation gen (0 = p^(j), 1 = p^(j-1)). Returns the holder and value,
+  /// or nullopt if no alive holder has it.
+  struct Found {
+    NodeId holder;
+    double value;
+  };
+  [[nodiscard]] std::optional<Found> lookup(const Cluster& cluster, NodeId owner,
+                                            Index global, int gen) const;
+
+  /// Gathers both generations of all lost elements (`rows`, sorted, owned by
+  /// failed nodes). Charges the gather communication cost to
+  /// Phase::kRecovery. Throws UnrecoverableFailure when an element has no
+  /// surviving copy.
+  struct Gathered {
+    std::vector<double> cur;   // p^(j) values, aligned with rows
+    std::vector<double> prev;  // p^(j-1) values
+    Index elements_transferred = 0;
+  };
+  [[nodiscard]] Gathered gather_lost(Cluster& cluster,
+                                     std::span<const Index> rows) const;
+
+  /// Restores the store entries hosted on replacement nodes from the
+  /// (recovered) p and p_prev vectors, so the full phi + 1 redundancy holds
+  /// immediately after reconstruction instead of two iterations later.
+  /// Charges the re-send cost to Phase::kRecovery.
+  void re_arm(Cluster& cluster, std::span<const NodeId> replacements,
+              const DistVector& p, const DistVector& p_prev);
+
+  /// Memory the store occupies on node d, in vector elements (for the
+  /// paper's ~2n/N-per-copy overhead statement).
+  [[nodiscard]] Index retained_elements_on(NodeId d) const;
+
+ private:
+  struct RetainedBlock {
+    NodeId src = -1;
+    NodeId dst = -1;
+    std::vector<Index> indices;  // sorted global indices
+    std::vector<double> cur;
+    std::vector<double> prev;
+    bool valid = true;  // false after dst failed, until re-armed
+  };
+
+  const Partition* partition_ = nullptr;
+  std::vector<RetainedBlock> blocks_;
+  std::vector<std::vector<int>> by_src_;  // block ids per source node
+  std::vector<std::vector<int>> by_dst_;  // block ids per destination node
+};
+
+}  // namespace rpcg

@@ -1,0 +1,40 @@
+// Checkpoint/restart baseline (the in-practice standard technique the paper
+// positions ESR against, Sec. 1.2): every c iterations the full solver state
+// {x, r, z, p, scalars} is written to reliable storage; after a node failure
+// *all* nodes roll back to the last checkpoint and the iterations since then
+// are redone.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/dist_vector.hpp"
+
+namespace rpcg {
+
+class CheckpointStorage {
+ public:
+  /// Writes a checkpoint of the full solver state. Charges the parallel
+  /// write cost (4 vector blocks per node) to Phase::kCheckpoint.
+  void save(Cluster& cluster, int iteration, const DistVector& x,
+            const DistVector& r, const DistVector& z, const DistVector& p,
+            double rz, double beta_prev);
+
+  [[nodiscard]] bool has_checkpoint() const { return has_; }
+  [[nodiscard]] int iteration() const { return iter_; }
+
+  /// Restores the full solver state on all nodes (the failed node reads its
+  /// block from storage like everyone else; replacement must already be
+  /// online). Charges the parallel read cost to Phase::kRecovery.
+  void restore(Cluster& cluster, DistVector& x, DistVector& r, DistVector& z,
+               DistVector& p, double& rz, double& beta_prev) const;
+
+ private:
+  bool has_ = false;
+  int iter_ = 0;
+  std::vector<double> x_, r_, z_, p_;
+  double rz_ = 0.0;
+  double beta_prev_ = 0.0;
+};
+
+}  // namespace rpcg

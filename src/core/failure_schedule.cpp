@@ -1,0 +1,4 @@
+#include "core/failure_schedule.hpp"
+
+// Header-only today; this translation unit pins the header's symbols into the
+// library and reserves room for future non-inline schedule utilities.

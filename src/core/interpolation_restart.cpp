@@ -1,0 +1,56 @@
+#include "core/interpolation_restart.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+RecoveryStats interpolation_restart_recover(Cluster& cluster,
+                                            const CsrMatrix& a_global,
+                                            std::span<const NodeId> failed,
+                                            const DistVector& b, DistVector& x,
+                                            const EsrOptions& opts) {
+  RPCG_CHECK(!failed.empty(), "nothing to recover");
+  const Partition& part = cluster.partition();
+  const double t_before = cluster.clock().in_phase(Phase::kRecovery);
+  RecoveryStats stats;
+  stats.psi = static_cast<int>(failed.size());
+
+  cluster.charge_allreduce(Phase::kRecovery, 1);  // detection/agreement
+  for (const NodeId f : failed) cluster.replace_node(f);
+  {
+    // Static data re-fetch (A and b rows of the lost blocks).
+    std::vector<double> per_node(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
+    for (const NodeId f : failed) {
+      Index doubles = part.size(f);
+      for (Index row = part.begin(f); row < part.end(f); ++row)
+        doubles += 2 * static_cast<Index>(a_global.row_cols(row).size());
+      per_node[static_cast<std::size_t>(f)] = cluster.comm().storage_cost(doubles);
+    }
+    cluster.charge_parallel_seconds(Phase::kRecovery, per_node);
+  }
+
+  const std::vector<Index> rows = part.rows_of_set(failed);
+  stats.lost_rows = static_cast<Index>(rows.size());
+
+  // Interpolate the lost iterate (no residual term: this is the heuristic).
+  std::vector<double> x_f(rows.size());
+  const LocalSolveOutcome outcome =
+      esr_solve_lost_x(cluster, a_global, rows, {}, b, x, x_f, opts);
+  stats.local_solve_iterations = outcome.iterations;
+  stats.local_solve_rel_residual = outcome.rel_residual;
+
+  std::size_t pos = 0;
+  std::vector<NodeId> sorted(failed.begin(), failed.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const NodeId f : sorted) {
+    const auto bsize = static_cast<std::size_t>(part.size(f));
+    x.restore_block(f, std::span<const double>(x_f.data() + pos, bsize));
+    pos += bsize;
+  }
+  stats.sim_seconds = cluster.clock().in_phase(Phase::kRecovery) - t_before;
+  return stats;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,28 @@
+// Interpolation/restart baseline (Langou et al. 2007, discussed in Sec. 1.2
+// of the paper): after a failure the lost iterate block is *approximated* by
+// solving A_{IF,IF} x_{IF} = b_{IF} - A_{IF,I\IF} x_{I\IF}, and the CG
+// iteration restarts from the interpolated iterate, losing the Krylov
+// history. No redundancy is maintained during normal operation (zero
+// failure-free overhead) but convergence after a failure is slower than with
+// ESR's exact reconstruction.
+#pragma once
+
+#include <span>
+
+#include "core/esr.hpp"
+#include "sim/cluster.hpp"
+#include "sim/dist_vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace rpcg {
+
+/// Recovers only the iterate x after the given nodes failed (replacements
+/// are brought online here). r, z, p must be rebuilt by the caller's restart.
+/// Returns the local-solve statistics.
+RecoveryStats interpolation_restart_recover(Cluster& cluster,
+                                            const CsrMatrix& a_global,
+                                            std::span<const NodeId> failed,
+                                            const DistVector& b, DistVector& x,
+                                            const EsrOptions& opts);
+
+}  // namespace rpcg

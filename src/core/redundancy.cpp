@@ -1,0 +1,220 @@
+#include "core/redundancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rpcg {
+
+std::string to_string(BackupStrategy s) {
+  switch (s) {
+    case BackupStrategy::kPaperAlternating:
+      return "paper-alternating";
+    case BackupStrategy::kRing:
+      return "ring";
+    case BackupStrategy::kRandom:
+      return "random";
+    case BackupStrategy::kGreedyOverlap:
+      return "greedy-overlap";
+  }
+  return "unknown";
+}
+
+NodeId paper_backup_target(NodeId i, int k, int num_nodes) {
+  RPCG_CHECK(k >= 1, "rounds are 1-based");
+  long d;
+  if (k % 2 == 1) {
+    d = static_cast<long>(i) + (k + 1) / 2;
+  } else {
+    d = static_cast<long>(i) - k / 2;
+  }
+  const long n = num_nodes;
+  return static_cast<NodeId>(((d % n) + n) % n);
+}
+
+namespace {
+
+// Selects the phi distinct designated targets of node i for the strategy.
+std::vector<NodeId> select_targets(const ScatterPlan& plan, NodeId i, int phi,
+                                   int num_nodes, BackupStrategy strategy,
+                                   std::uint64_t seed) {
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(phi));
+  const auto taken = [&targets](NodeId d) {
+    return std::find(targets.begin(), targets.end(), d) != targets.end();
+  };
+  switch (strategy) {
+    case BackupStrategy::kPaperAlternating:
+      for (int k = 1; k <= phi; ++k)
+        targets.push_back(paper_backup_target(i, k, num_nodes));
+      break;
+    case BackupStrategy::kRing:
+      for (int k = 1; k <= phi; ++k)
+        targets.push_back(static_cast<NodeId>((i + k) % num_nodes));
+      break;
+    case BackupStrategy::kRandom: {
+      // Per-node deterministic stream.
+      Rng rng(seed ^ (0x517CC1B727220A95ULL * static_cast<std::uint64_t>(i + 1)));
+      while (static_cast<int>(targets.size()) < phi) {
+        const auto d = static_cast<NodeId>(
+            rng.uniform_index(static_cast<std::uint64_t>(num_nodes)));
+        if (d != i && !taken(d)) targets.push_back(d);
+      }
+      break;
+    }
+    case BackupStrategy::kGreedyOverlap: {
+      // Rank candidates by how many elements they already receive from i;
+      // tie-break by the paper-alternating order so the fallback matches the
+      // diagonal-friendly heuristic.
+      std::vector<std::pair<Index, NodeId>> ranked;
+      for (const int id : plan.sends_of(i)) {
+        const auto& m = plan.messages()[static_cast<std::size_t>(id)];
+        ranked.emplace_back(static_cast<Index>(m.indices.size()), m.dst);
+      }
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        return a.first > b.first || (a.first == b.first && a.second < b.second);
+      });
+      for (const auto& [cnt, d] : ranked) {
+        if (static_cast<int>(targets.size()) == phi) break;
+        if (!taken(d)) targets.push_back(d);
+      }
+      for (int k = 1; static_cast<int>(targets.size()) < phi; ++k) {
+        const NodeId d = paper_backup_target(i, k, num_nodes);
+        if (d != i && !taken(d)) targets.push_back(d);
+      }
+      break;
+    }
+  }
+  RPCG_REQUIRE(static_cast<int>(targets.size()) == phi, "target selection failed");
+  for (const NodeId d : targets)
+    RPCG_REQUIRE(d != i, "a node cannot be its own backup");
+  return targets;
+}
+
+}  // namespace
+
+RedundancyScheme RedundancyScheme::build(const ScatterPlan& plan,
+                                         const Partition& partition, int phi,
+                                         BackupStrategy strategy,
+                                         std::uint64_t seed) {
+  const int nn = partition.num_nodes();
+  RPCG_CHECK(phi >= 0 && phi < nn, "phi must satisfy 0 <= phi < N");
+  RedundancyScheme scheme;
+  scheme.phi_ = phi;
+  scheme.strategy_ = strategy;
+  scheme.rounds_.resize(static_cast<std::size_t>(nn));
+  if (phi == 0) return scheme;
+
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto targets = select_targets(plan, i, phi, nn, strategy, seed);
+    auto& rounds = scheme.rounds_[static_cast<std::size_t>(i)];
+    rounds.resize(static_cast<std::size_t>(phi));
+
+    // g_i(s): how many designated targets already receive s during SpMV.
+    const Index begin = partition.begin(i);
+    const Index size = partition.size(i);
+    std::vector<int> g(static_cast<std::size_t>(size), 0);
+    for (const NodeId d : targets) {
+      const auto s_id = plan.s_ik(i, d);
+      for (const Index s : s_id) ++g[static_cast<std::size_t>(s - begin)];
+    }
+
+    for (int k = 1; k <= phi; ++k) {
+      BackupRound& round = rounds[static_cast<std::size_t>(k - 1)];
+      round.target = targets[static_cast<std::size_t>(k - 1)];
+      const auto s_id = plan.s_ik(i, round.target);
+      round.piggybacked = !s_id.empty();
+      for (Index off = 0; off < size; ++off) {
+        const Index s = begin + off;
+        if (std::binary_search(s_id.begin(), s_id.end(), s)) continue;  // sent anyway
+        const int free_and_undesignated =
+            plan.multiplicity(s) - g[static_cast<std::size_t>(off)];
+        if (free_and_undesignated <= phi - k) round.extra.push_back(s);
+      }
+    }
+  }
+  return scheme;
+}
+
+Index RedundancyScheme::total_extra_elements() const {
+  Index total = 0;
+  for (const auto& rounds : rounds_)
+    for (const auto& r : rounds) total += static_cast<Index>(r.extra.size());
+  return total;
+}
+
+Index RedundancyScheme::max_extra_in_round(int k) const {
+  RPCG_CHECK(k >= 1 && k <= phi_, "round out of range");
+  Index mx = 0;
+  for (const auto& rounds : rounds_)
+    mx = std::max(mx,
+                  static_cast<Index>(rounds[static_cast<std::size_t>(k - 1)].extra.size()));
+  return mx;
+}
+
+int RedundancyScheme::extra_latency_messages() const {
+  int count = 0;
+  for (const auto& rounds : rounds_)
+    for (const auto& r : rounds)
+      if (!r.extra.empty() && !r.piggybacked) ++count;
+  return count;
+}
+
+std::vector<double> RedundancyScheme::extra_comm_cost_per_node(
+    const CommModel& model) const {
+  std::vector<double> cost(rounds_.size(), 0.0);
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    for (const auto& r : rounds_[i]) {
+      if (r.extra.empty()) continue;
+      cost[i] += static_cast<double>(r.extra.size()) * model.params().per_double_s;
+      if (!r.piggybacked) cost[i] += model.params().latency_s;
+    }
+  }
+  return cost;
+}
+
+double RedundancyScheme::per_iteration_overhead(const CommModel& model) const {
+  double total = 0.0;
+  for (int k = 1; k <= phi_; ++k) {
+    double round_max = 0.0;
+    for (const auto& rounds : rounds_) {
+      const auto& r = rounds[static_cast<std::size_t>(k - 1)];
+      if (r.extra.empty()) continue;
+      double c = static_cast<double>(r.extra.size()) * model.params().per_double_s;
+      if (!r.piggybacked) c += model.params().latency_s;
+      round_max = std::max(round_max, c);
+    }
+    total += round_max;
+  }
+  return total;
+}
+
+double RedundancyScheme::paper_upper_bound(const CommModel& model,
+                                           const Partition& partition) const {
+  return static_cast<double>(phi_) *
+         (model.params().latency_s +
+          static_cast<double>(partition.max_block_size()) *
+              model.params().per_double_s);
+}
+
+int RedundancyScheme::min_copies(const ScatterPlan& plan,
+                                 const Partition& partition) const {
+  int min_copies = phi_ == 0 ? 0 : 1 << 30;
+  for (NodeId i = 0; i < partition.num_nodes(); ++i) {
+    const Index begin = partition.begin(i);
+    const Index size = partition.size(i);
+    std::vector<int> extras(static_cast<std::size_t>(size), 0);
+    for (const auto& r : rounds_[static_cast<std::size_t>(i)])
+      for (const Index s : r.extra) ++extras[static_cast<std::size_t>(s - begin)];
+    for (Index off = 0; off < size; ++off) {
+      const Index s = begin + off;
+      const int copies = plan.multiplicity(s) + extras[static_cast<std::size_t>(off)];
+      min_copies = std::min(min_copies, copies);
+    }
+  }
+  return min_copies;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,117 @@
+// The paper's core contribution (Sec. 4.1): where and what redundant copies
+// of the search-direction blocks to store so that up to phi simultaneous or
+// overlapping node failures can be tolerated.
+//
+// For each node i and round k in {1..phi} a designated backup node d_ik is
+// chosen (Eqn. 5 for the paper's strategy) and the minimal extra set
+//   Rc_ik = { s in S_i | s not in S_{i,d_ik}  and  m_i(s) - g_i(s) <= phi-k }
+// (Eqn. 6) is sent to d_ik piggybacked on the SpMV communication, where
+// m_i(s) is the SpMV multiplicity (Eqn. 3) and g_i(s) the number of
+// designated backups already receiving s. Together with the retention rule
+// (every receiver keeps what it receives for two generations) this provides
+// phi + 1 copies of every element of p^(j) and p^(j-1) on distinct nodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/comm_model.hpp"
+#include "sim/partition.hpp"
+#include "sim/scatter_plan.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+/// How the designated backup nodes d_ik are selected.
+enum class BackupStrategy {
+  /// Eqn. 5 of the paper: alternate +1, -1, +2, -2, ... around node i —
+  /// good when nonzeros cluster near the diagonal. phi = 1 reduces to
+  /// Chen's d_i = (i+1) mod N.
+  kPaperAlternating,
+  /// d_ik = (i + k) mod N (the naive generalization of Chen's scheme).
+  kRing,
+  /// phi random distinct nodes (seeded); a pattern-oblivious baseline.
+  kRandom,
+  /// Pick the phi nodes that already receive the most elements from i
+  /// during SpMV (largest |S_ik|) — the "adapt to the sparsity pattern"
+  /// direction the paper names as future work.
+  kGreedyOverlap,
+};
+
+[[nodiscard]] std::string to_string(BackupStrategy s);
+
+/// One designated backup assignment for (node i, round k).
+struct BackupRound {
+  NodeId target = -1;          ///< d_ik
+  std::vector<Index> extra;    ///< Rc_ik, sorted global indices
+  bool piggybacked = false;    ///< S_{i,d_ik} nonempty: no extra latency
+};
+
+class RedundancyScheme {
+ public:
+  RedundancyScheme() = default;
+
+  /// Derives the full scheme from the SpMV scatter plan. Requires
+  /// 0 <= phi < N.
+  [[nodiscard]] static RedundancyScheme build(const ScatterPlan& plan,
+                                              const Partition& partition,
+                                              int phi, BackupStrategy strategy,
+                                              std::uint64_t seed = 0);
+
+  [[nodiscard]] int phi() const { return phi_; }
+  [[nodiscard]] BackupStrategy strategy() const { return strategy_; }
+
+  /// The phi backup rounds of node i (k = 1..phi maps to index k-1).
+  [[nodiscard]] std::span<const BackupRound> rounds_of(NodeId i) const {
+    return rounds_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total number of extra vector elements sent per SpMV (all nodes, all
+  /// rounds).
+  [[nodiscard]] Index total_extra_elements() const;
+
+  /// max_i |Rc_ik| for round k in 1..phi (the per-round overhead bound of
+  /// Sec. 4.2).
+  [[nodiscard]] Index max_extra_in_round(int k) const;
+
+  /// Number of (i, k) pairs whose extra set needs a brand-new message
+  /// (extra latency: Rc_ik nonempty and S_{i,d_ik} empty).
+  [[nodiscard]] int extra_latency_messages() const;
+
+  /// Per-node extra serialized send cost of one SpMV (the piggybacked
+  /// elements cost mu each; fresh messages add lambda).
+  [[nodiscard]] std::vector<double> extra_comm_cost_per_node(
+      const CommModel& model) const;
+
+  /// Per-iteration communication overhead following the paper's round-based
+  /// accounting (Sec. 4.2): each round k costs the slowest node,
+  /// O = sum_k max_i (|Rc_ik| mu + lambda [fresh message needed]),
+  /// which is bounded by phi (lambda_max + ceil(n/N) mu).
+  [[nodiscard]] double per_iteration_overhead(const CommModel& model) const;
+
+  /// The paper's Sec. 4.2 upper bound for the per-iteration communication
+  /// overhead: phi * (lambda_max + ceil(n/N) * mu).
+  [[nodiscard]] double paper_upper_bound(const CommModel& model,
+                                         const Partition& partition) const;
+
+  /// Verifies the phi-redundancy invariant: every element of every block has
+  /// at least phi copies on distinct nodes other than its owner (counting
+  /// SpMV receivers and designated extras). Returns the minimum copy count
+  /// found (>= phi when the scheme is correct).
+  [[nodiscard]] int min_copies(const ScatterPlan& plan,
+                               const Partition& partition) const;
+
+ private:
+  int phi_ = 0;
+  BackupStrategy strategy_ = BackupStrategy::kPaperAlternating;
+  std::vector<std::vector<BackupRound>> rounds_;  // per node
+};
+
+/// The designated-backup target of Eqn. 5 (paper-alternating strategy),
+/// exposed for tests: k odd -> (i + ceil(k/2)) mod N, k even -> (i - k/2 + N)
+/// mod N.
+[[nodiscard]] NodeId paper_backup_target(NodeId i, int k, int num_nodes);
+
+}  // namespace rpcg

@@ -1,0 +1,291 @@
+#include "core/resilient_pcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "core/interpolation_restart.hpp"
+#include "sim/collectives.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace rpcg {
+
+std::string to_string(RecoveryMethod m) {
+  switch (m) {
+    case RecoveryMethod::kNone:
+      return "none";
+    case RecoveryMethod::kEsr:
+      return "esr";
+    case RecoveryMethod::kCheckpointRestart:
+      return "checkpoint-restart";
+    case RecoveryMethod::kInterpolationRestart:
+      return "interpolation-restart";
+  }
+  return "unknown";
+}
+
+ResilientPcg::ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           const Preconditioner& m, ResilientPcgOptions opts)
+    : cluster_(cluster),
+      a_global_(&a_global),
+      m_(&m),
+      opts_(opts),
+      owned_a_(std::make_unique<DistMatrix>(
+          DistMatrix::distribute(a_global, cluster.partition()))),
+      a_(owned_a_.get()) {
+  init();
+}
+
+ResilientPcg::ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           const DistMatrix& a, const Preconditioner& m,
+                           ResilientPcgOptions opts)
+    : cluster_(cluster), a_global_(&a_global), m_(&m), opts_(opts), a_(&a) {
+  init();
+}
+
+void ResilientPcg::init() {
+  if (opts_.method == RecoveryMethod::kEsr) {
+    RPCG_CHECK(opts_.phi >= 1, "ESR needs phi >= 1 redundant copies");
+  } else {
+    RPCG_CHECK(opts_.phi == 0,
+               "redundant copies are an ESR feature; set phi = 0 for " +
+                   to_string(opts_.method));
+  }
+  if (opts_.phi > 0) {
+    scheme_ = RedundancyScheme::build(a_->scatter_plan(), cluster_.partition(),
+                                      opts_.phi, opts_.strategy,
+                                      opts_.strategy_seed);
+    store_.configure(a_->scatter_plan(), scheme_, cluster_.partition());
+    // Per-iteration overhead of the extra traffic, with the paper's
+    // round-based accounting (Sec. 4.2): every backup round costs its
+    // slowest sender, piggybacked elements cost mu each, fresh messages
+    // add the latency lambda.
+    redundancy_step_cost_ = scheme_.per_iteration_overhead(cluster_.comm());
+  }
+}
+
+void ResilientPcg::inject_failures(const std::vector<NodeId>& nodes,
+                                   std::vector<DistVector*> state) {
+  for (const NodeId f : nodes) {
+    cluster_.fail_node(f);
+    for (DistVector* v : state) v->invalidate(f);
+    if (opts_.phi > 0) store_.invalidate_node(f);
+  }
+}
+
+ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
+                                       const FailureSchedule& schedule) {
+  RPCG_CHECK(cluster_.alive_count() == cluster_.num_nodes(),
+             "all nodes must be alive at solve entry");
+  const Partition& part = cluster_.partition();
+  WallTimer wall;
+  std::array<double, kNumPhases> clock_at_entry{};
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    clock_at_entry[static_cast<std::size_t>(ph)] =
+        cluster_.clock().in_phase(static_cast<Phase>(ph));
+
+  DistVector r(part), z(part), p(part), p_prev(part), u(part);
+  std::vector<std::vector<double>> halos;
+  const Phase it = Phase::kIteration;
+
+  // Line 1 of Alg. 1: r = b - A x, z = M^{-1} r, p = z. p_prev stays zero
+  // (p^(-1) = 0, consistent with beta^(-1) = 0 at a j = 0 failure).
+  a_->spmv(cluster_, x, u, halos, it);
+  copy(cluster_, b, r, it);
+  axpy(cluster_, -1.0, u, r, it);
+  m_->apply(cluster_, r, z, it);
+  copy(cluster_, z, p, it);
+
+  DotPair d0 = dot_pair(cluster_, r, z, it);
+  double rz = d0.rz;
+  const double rnorm0 = std::sqrt(d0.rr);
+  double beta_prev = 0.0;
+
+  ResilientPcgResult res;
+  CheckpointStorage ckpt;
+  int last_ckpt_saved_at = -1;
+  std::vector<char> fired(schedule.events().size(), 0);
+  const EsrReconstructor reconstructor(*a_global_, *m_, opts_.esr);
+
+  bool done = rnorm0 == 0.0;
+  if (done) res.converged = true;
+
+  int j = 0;
+  while (!done && j < opts_.pcg.max_iterations) {
+    // Checkpoint/restart baseline: periodic state save at the loop top.
+    if (opts_.method == RecoveryMethod::kCheckpointRestart &&
+        j % opts_.checkpoint_interval == 0 && j != last_ckpt_saved_at) {
+      ckpt.save(cluster_, j, x, r, z, p, rz, beta_prev);
+      last_ckpt_saved_at = j;
+      ++res.checkpoints_written;
+    }
+
+    // Lines 3/5 SpMV: u = A p. With ESR, the redundant copies of p^(j) are
+    // piggybacked on this exchange and every receiver retains two
+    // generations (the backup store rotates cur -> prev).
+    a_->spmv(cluster_, p, u, halos, it);
+    if (opts_.phi > 0) {
+      store_.record(p);
+      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+    }
+
+    // --- Failure injection point (backups of p^(j), p^(j-1) in place). ---
+    std::vector<int> evs;
+    for (std::size_t idx = 0; idx < schedule.events().size(); ++idx)
+      if (!fired[idx] && schedule.events()[idx].iteration == j)
+        evs.push_back(static_cast<int>(idx));
+
+    bool skip_update = false;
+    if (!evs.empty()) {
+      switch (opts_.method) {
+        case RecoveryMethod::kNone:
+          throw UnrecoverableFailure(
+              "node failure injected into a non-resilient solver");
+        case RecoveryMethod::kEsr: {
+          std::vector<NodeId> merged;
+          bool first = true;
+          for (const int idx : evs) {
+            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
+            fired[static_cast<std::size_t>(idx)] = 1;
+            if (!first && ev.during_recovery) {
+              // Overlapping failure: the reconstruction of `merged` was
+              // underway. Charge the work performed so far (the gather, its
+              // dominant communication part) and restart with the union.
+              (void)store_.gather_lost(cluster_, part.rows_of_set(merged));
+            }
+            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+            first = false;
+          }
+          RecoveryRecord rec;
+          rec.iteration = j;
+          rec.nodes = merged;
+          rec.stats = reconstructor.recover(cluster_, merged, store_, beta_prev,
+                                            b, x, r, z, p, p_prev);
+          res.recoveries.push_back(std::move(rec));
+          // Resume iteration j: recompute u = A p on the recovered state.
+          for (const NodeId f : merged) u.revalidate_zero(f);
+          a_->spmv(cluster_, p, u, halos, Phase::kRecovery);
+          break;
+        }
+        case RecoveryMethod::kCheckpointRestart: {
+          std::vector<NodeId> merged;
+          for (const int idx : evs) {
+            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
+            fired[static_cast<std::size_t>(idx)] = 1;
+            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+          }
+          cluster_.charge_allreduce(Phase::kRecovery, 1);  // detection
+          for (const NodeId f : merged) cluster_.replace_node(f);
+          const double t0 = cluster_.clock().in_phase(Phase::kRecovery);
+          ckpt.restore(cluster_, x, r, z, p, rz, beta_prev);
+          for (const NodeId f : merged) {
+            u.revalidate_zero(f);
+            p_prev.revalidate_zero(f);  // rebuilt before it is needed again
+          }
+          RecoveryRecord rec;
+          rec.iteration = j;
+          rec.nodes = merged;
+          rec.stats.psi = static_cast<int>(merged.size());
+          rec.stats.lost_rows = static_cast<Index>(part.rows_of_set(merged).size());
+          rec.stats.sim_seconds =
+              cluster_.clock().in_phase(Phase::kRecovery) - t0;
+          res.recoveries.push_back(std::move(rec));
+          res.rolled_back_iterations += j - ckpt.iteration();
+          j = ckpt.iteration();
+          skip_update = true;
+          break;
+        }
+        case RecoveryMethod::kInterpolationRestart: {
+          std::vector<NodeId> merged;
+          for (const int idx : evs) {
+            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
+            fired[static_cast<std::size_t>(idx)] = 1;
+            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+          }
+          RecoveryRecord rec;
+          rec.iteration = j;
+          rec.nodes = merged;
+          rec.stats = interpolation_restart_recover(cluster_, *a_global_,
+                                                    merged, b, x, opts_.esr);
+          res.recoveries.push_back(std::move(rec));
+          // Restart CG from the interpolated iterate: the Krylov history is
+          // lost (r, z, p rebuilt from scratch).
+          for (const NodeId f : merged) {
+            r.revalidate_zero(f);
+            z.revalidate_zero(f);
+            p.revalidate_zero(f);
+            p_prev.revalidate_zero(f);
+            u.revalidate_zero(f);
+          }
+          a_->spmv(cluster_, x, u, halos, Phase::kRecovery);
+          copy(cluster_, b, r, Phase::kRecovery);
+          axpy(cluster_, -1.0, u, r, Phase::kRecovery);
+          m_->apply(cluster_, r, z, Phase::kRecovery);
+          copy(cluster_, z, p, Phase::kRecovery);
+          const DotPair dr = dot_pair(cluster_, r, z, Phase::kRecovery);
+          rz = dr.rz;
+          beta_prev = 0.0;
+          skip_update = true;
+          break;
+        }
+      }
+    }
+    if (skip_update) continue;
+
+    // Lines 3-8 of Alg. 1.
+    const double pap = dot(cluster_, p, u, it);
+    RPCG_REQUIRE(pap > 0.0, "matrix is not positive definite along p");
+    const double alpha = rz / pap;
+    axpy(cluster_, alpha, p, x, it);
+    axpy(cluster_, -alpha, u, r, it);
+    m_->apply(cluster_, r, z, it);
+    const DotPair d = dot_pair(cluster_, r, z, it);
+    ++res.iterations;
+    res.rel_residual = std::sqrt(d.rr) / rnorm0;
+    res.solver_residual_norm = std::sqrt(d.rr);
+    if (opts_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = res.iterations;
+      snap.rel_residual = res.rel_residual;
+      snap.x = &x;
+      snap.r = &r;
+      snap.z = &z;
+      snap.p = &p;
+      opts_.observer(snap);
+    }
+    if (res.rel_residual <= opts_.pcg.rtol) {
+      res.converged = true;
+      break;
+    }
+    const double beta = d.rz / rz;
+    beta_prev = beta;
+    rz = d.rz;
+    {
+      // Keeping p^(j) as the previous direction is a local pointer swap in a
+      // real implementation; it costs no time.
+      ClockPause pause(cluster_.clock());
+      copy(cluster_, p, p_prev, it);
+    }
+    xpby(cluster_, z, beta, p, it);
+    ++j;
+  }
+
+  res.true_residual_norm = true_residual_norm(cluster_, *a_, b, x);
+  if (res.true_residual_norm > 0.0)
+    res.delta_metric = (res.solver_residual_norm - res.true_residual_norm) /
+                       res.true_residual_norm;
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    res.sim_time_phase[static_cast<std::size_t>(ph)] =
+        cluster_.clock().in_phase(static_cast<Phase>(ph)) -
+        clock_at_entry[static_cast<std::size_t>(ph)];
+  for (const double t : res.sim_time_phase) res.sim_time += t;
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,134 @@
+// The resilient PCG solver — the user-facing engine of this library.
+//
+// It executes the PCG iteration of Alg. 1 on the simulated cluster and, when
+// ESR is enabled, distributes phi redundant copies of the two most recent
+// search directions during every SpMV (piggybacked per Eqns. 5-6). Scheduled
+// node failures are injected right after the SpMV; recovery runs via exact
+// state reconstruction (Alg. 2), checkpoint rollback, or interpolation
+// restart, depending on the configured method. With phi = 0 and method
+// kNone, the engine is exactly the reference (non-resilient) PCG.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/backup_store.hpp"
+#include "core/esr.hpp"
+#include "core/failure_schedule.hpp"
+#include "core/redundancy.hpp"
+#include "precond/preconditioner.hpp"
+#include "sim/cluster.hpp"
+#include "sim/dist_matrix.hpp"
+#include "sim/dist_vector.hpp"
+#include "solver/pcg.hpp"
+
+namespace rpcg {
+
+enum class RecoveryMethod {
+  kNone,                  ///< no resilience: any failure throws
+  kEsr,                   ///< exact state reconstruction (this paper)
+  kCheckpointRestart,     ///< periodic checkpoint + global rollback
+  kInterpolationRestart,  ///< Langou-style interpolation + restart
+};
+
+[[nodiscard]] std::string to_string(RecoveryMethod m);
+
+/// Read-only view of the solver state after a completed iteration, passed to
+/// the optional observer: x^(j+1), r^(j+1), z^(j+1) and the search direction
+/// p^(j) the iteration used. Useful for progress monitoring and for testing
+/// that recovery preserves the iteration trajectory exactly.
+struct IterationSnapshot {
+  int iteration = 0;         ///< completed iterations so far
+  double rel_residual = 0.0;
+  const DistVector* x = nullptr;
+  const DistVector* r = nullptr;
+  const DistVector* z = nullptr;
+  const DistVector* p = nullptr;
+};
+
+struct ResilientPcgOptions {
+  PcgOptions pcg;
+  RecoveryMethod method = RecoveryMethod::kNone;
+  /// Number of redundant copies (tolerated simultaneous failures); >= 1 for
+  /// kEsr, must be 0 otherwise.
+  int phi = 0;
+  BackupStrategy strategy = BackupStrategy::kPaperAlternating;
+  EsrOptions esr;
+  /// Checkpoint interval in iterations (kCheckpointRestart only).
+  int checkpoint_interval = 50;
+  /// Seed for the kRandom backup strategy.
+  std::uint64_t strategy_seed = 0;
+  /// Called after every completed iteration (not after rollbacks/restarts).
+  std::function<void(const IterationSnapshot&)> observer;
+};
+
+struct RecoveryRecord {
+  int iteration = 0;
+  std::vector<NodeId> nodes;
+  RecoveryStats stats;
+};
+
+struct ResilientPcgResult {
+  bool converged = false;
+  /// Completed PCG iterations, including any redone after a rollback.
+  int iterations = 0;
+  double rel_residual = 0.0;
+  double solver_residual_norm = 0.0;
+  double true_residual_norm = 0.0;
+  double delta_metric = 0.0;  ///< Eqn. 7
+  double sim_time = 0.0;
+  std::array<double, kNumPhases> sim_time_phase{};
+  double wall_seconds = 0.0;
+  std::vector<RecoveryRecord> recoveries;
+  int checkpoints_written = 0;
+  int rolled_back_iterations = 0;  ///< work redone by the C/R baseline
+};
+
+class ResilientPcg {
+ public:
+  /// `a_global` is the reliable static copy of A (kept for reconstruction),
+  /// `a` its distributed form over the cluster's partition. Both must
+  /// outlive the solver, as must the preconditioner and cluster. (Keeping
+  /// the DistMatrix external lets experiment harnesses reuse the scatter
+  /// plan across many solves.)
+  ResilientPcg(Cluster& cluster, const CsrMatrix& a_global, const DistMatrix& a,
+               const Preconditioner& m, ResilientPcgOptions opts);
+
+  /// Convenience constructor that distributes the matrix internally.
+  ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
+               const Preconditioner& m, ResilientPcgOptions opts);
+
+  /// Solves A x = b from the initial guess in x; failures are injected per
+  /// schedule. The cluster must have all nodes alive on entry.
+  [[nodiscard]] ResilientPcgResult solve(const DistVector& b, DistVector& x,
+                                         const FailureSchedule& schedule = {});
+
+  [[nodiscard]] const DistMatrix& matrix() const { return *a_; }
+  [[nodiscard]] const RedundancyScheme& redundancy() const { return scheme_; }
+  [[nodiscard]] const ResilientPcgOptions& options() const { return opts_; }
+
+  /// Failure-free per-iteration communication overhead of the redundancy
+  /// (simulated seconds), i.e. the quantity bounded in Sec. 4.2.
+  [[nodiscard]] double redundancy_overhead_per_iteration() const {
+    return redundancy_step_cost_;
+  }
+
+ private:
+  void init();
+  void inject_failures(const std::vector<NodeId>& nodes,
+                       std::vector<DistVector*> state);
+
+  Cluster& cluster_;
+  const CsrMatrix* a_global_;
+  const Preconditioner* m_;
+  ResilientPcgOptions opts_;
+  std::unique_ptr<DistMatrix> owned_a_;  // only for the convenience ctor
+  const DistMatrix* a_;
+  RedundancyScheme scheme_;
+  BackupStore store_;
+  double redundancy_step_cost_ = 0.0;  // max_i(base+extra) - max_i(base)
+};
+
+}  // namespace rpcg

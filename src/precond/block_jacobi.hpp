@@ -1,0 +1,42 @@
+// Block Jacobi preconditioner with *exact* block solves — the paper's
+// failure-free preconditioner (Sec. 6: "a block Jacobi as a preconditioner
+// during the regular operation of the solver, solving the preconditioner
+// blocks exactly"). Blocks match the node index sets by default; an optional
+// sub-block size yields finer blocks (still node-aligned, i.e. M stays
+// block-diagonal with respect to the partition, keeping ESR recovery local).
+#pragma once
+
+#include <vector>
+
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ldlt.hpp"
+
+namespace rpcg {
+
+class BlockJacobiPreconditioner final : public Preconditioner {
+ public:
+  /// sub_block_size == 0: one block per node (the paper's setting).
+  /// sub_block_size > 0: blocks of at most that many rows inside each node.
+  BlockJacobiPreconditioner(const CsrMatrix& a, const Partition& partition,
+                            Index sub_block_size = 0);
+
+  void apply(Cluster& cluster, const DistVector& r, DistVector& z,
+             Phase phase) const override;
+  [[nodiscard]] PrecondKind kind() const override { return PrecondKind::kMGiven; }
+  [[nodiscard]] std::string name() const override { return "bjacobi"; }
+  void esr_recover_residual(Cluster& cluster, std::span<const Index> rows,
+                            std::span<const double> z_f, const DistVector& r,
+                            const DistVector& z,
+                            std::span<double> r_f) const override;
+
+ private:
+  const Partition* partition_;
+  // Per node: the preconditioner matrix M_{Ii,Ii} (block-diagonal extraction
+  // of A's node-diagonal block) and its exact LDLᵀ factorization.
+  std::vector<CsrMatrix> m_local_;
+  std::vector<SparseLdlt> factor_;
+  std::vector<double> apply_flops_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,59 @@
+#include "precond/ic0_split.hpp"
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+Ic0SplitPreconditioner::Ic0SplitPreconditioner(const CsrMatrix& a,
+                                               const Partition& partition)
+    : partition_(&partition) {
+  RPCG_CHECK(a.rows() == partition.n(), "matrix/partition size mismatch");
+  const int nn = partition.num_nodes();
+  factor_.reserve(static_cast<std::size_t>(nn));
+  apply_flops_.resize(static_cast<std::size_t>(nn));
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto rows = partition.rows_of(i);
+    auto fact = Ic0::factor(a.submatrix(rows, rows));
+    RPCG_CHECK(fact.has_value(),
+               "IC(0) breakdown on node block " + std::to_string(i));
+    apply_flops_[static_cast<std::size_t>(i)] = fact->solve_flops();
+    factor_.push_back(std::move(*fact));
+  }
+}
+
+void Ic0SplitPreconditioner::apply(Cluster& cluster, const DistVector& r,
+                                   DistVector& z, Phase phase) const {
+  const int nn = cluster.num_nodes();
+#ifdef RPCG_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (NodeId i = 0; i < nn; ++i) {
+    factor_[static_cast<std::size_t>(i)].solve(r.block(i), z.block(i));
+  }
+  cluster.charge_compute(phase, apply_flops_);
+}
+
+void Ic0SplitPreconditioner::esr_recover_residual(
+    Cluster& cluster, std::span<const Index> rows, std::span<const double> z_f,
+    const DistVector& /*r*/, const DistVector& /*z*/,
+    std::span<double> r_f) const {
+  // M = L Lᵀ is node-aligned block-diagonal: r_{If} = L (Lᵀ z_{If}),
+  // applied block by block on the replacement nodes.
+  double flops = 0.0;
+  std::size_t pos = 0;
+  while (pos < rows.size()) {
+    const NodeId f = partition_->owner(rows[pos]);
+    const auto bsize = static_cast<std::size_t>(partition_->size(f));
+    RPCG_REQUIRE(pos + bsize <= rows.size() &&
+                     rows[pos] == partition_->begin(f) &&
+                     rows[pos + bsize - 1] == partition_->end(f) - 1,
+                 "failed rows must cover whole node blocks");
+    const Ic0& fact = factor_[static_cast<std::size_t>(f)];
+    fact.multiply(z_f.subspan(pos, bsize), r_f.subspan(pos, bsize));
+    flops += 4.0 * static_cast<double>(fact.l_nnz());
+    pos += bsize;
+  }
+  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(flops));
+}
+
+}  // namespace rpcg

@@ -1,0 +1,34 @@
+// Split preconditioner M = L Lᵀ where L is the node-local IC(0) factor of
+// the node-diagonal block of A. Exercises the split-preconditioner ESR
+// variant ([23], Alg. 5): the residual is recovered by applying M (i.e. L
+// then Lᵀ) to the recovered preconditioned residual.
+#pragma once
+
+#include <vector>
+
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ic0.hpp"
+
+namespace rpcg {
+
+class Ic0SplitPreconditioner final : public Preconditioner {
+ public:
+  Ic0SplitPreconditioner(const CsrMatrix& a, const Partition& partition);
+
+  void apply(Cluster& cluster, const DistVector& r, DistVector& z,
+             Phase phase) const override;
+  [[nodiscard]] PrecondKind kind() const override { return PrecondKind::kSplit; }
+  [[nodiscard]] std::string name() const override { return "ic0"; }
+  void esr_recover_residual(Cluster& cluster, std::span<const Index> rows,
+                            std::span<const double> z_f, const DistVector& r,
+                            const DistVector& z,
+                            std::span<double> r_f) const override;
+
+ private:
+  const Partition* partition_;
+  std::vector<Ic0> factor_;  // per node
+  std::vector<double> apply_flops_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,56 @@
+#include "precond/preconditioner.hpp"
+
+#include "precond/block_jacobi.hpp"
+#include "precond/ic0_split.hpp"
+#include "precond/jacobi.hpp"
+#include "precond/ssor.hpp"
+#include "sim/collectives.hpp"
+#include "sparse/csr.hpp"
+#include "util/check.hpp"
+
+namespace rpcg {
+
+namespace {
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(Cluster& cluster, const DistVector& r, DistVector& z,
+             Phase phase) const override {
+    copy(cluster, r, z, phase);
+  }
+  [[nodiscard]] PrecondKind kind() const override {
+    return PrecondKind::kIdentity;
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+  void esr_recover_residual(Cluster& /*cluster*/, std::span<const Index> /*rows*/,
+                            std::span<const double> z_f, const DistVector& /*r*/,
+                            const DistVector& /*z*/,
+                            std::span<double> r_f) const override {
+    // M = I: the residual equals the preconditioned residual.
+    std::copy(z_f.begin(), z_f.end(), r_f.begin());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Preconditioner> make_identity_preconditioner() {
+  return std::make_unique<IdentityPreconditioner>();
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name,
+                                                    const CsrMatrix& a,
+                                                    const Partition& partition) {
+  if (name == "identity") return make_identity_preconditioner();
+  if (name == "jacobi")
+    return std::make_unique<JacobiPreconditioner>(a, partition);
+  if (name == "bjacobi")
+    return std::make_unique<BlockJacobiPreconditioner>(a, partition);
+  if (name == "ic0")
+    return std::make_unique<Ic0SplitPreconditioner>(a, partition);
+  if (name == "ssor")
+    return std::make_unique<SsorPreconditioner>(a, partition);
+  RPCG_CHECK(false, "unknown preconditioner: " + name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace rpcg

@@ -1,0 +1,126 @@
+#include "precond/ssor.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+SsorPreconditioner::SsorPreconditioner(const CsrMatrix& a,
+                                       const Partition& partition, double omega)
+    : partition_(&partition), omega_(omega) {
+  RPCG_CHECK(a.rows() == partition.n(), "matrix/partition size mismatch");
+  RPCG_CHECK(omega > 0.0 && omega < 2.0, "SSOR needs omega in (0, 2)");
+  const int nn = partition.num_nodes();
+  block_.reserve(static_cast<std::size_t>(nn));
+  diag_.reserve(static_cast<std::size_t>(nn));
+  apply_flops_.resize(static_cast<std::size_t>(nn));
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto rows = partition.rows_of(i);
+    block_.push_back(a.submatrix(rows, rows));
+    const CsrMatrix& b = block_.back();
+    std::vector<double> d(static_cast<std::size_t>(b.rows()));
+    for (Index r = 0; r < b.rows(); ++r) {
+      d[static_cast<std::size_t>(r)] = b.value_at(r, r);
+      RPCG_CHECK(d[static_cast<std::size_t>(r)] > 0.0,
+                 "SSOR needs a positive diagonal");
+    }
+    diag_.push_back(std::move(d));
+    apply_flops_[static_cast<std::size_t>(i)] =
+        4.0 * static_cast<double>(b.nnz());
+  }
+}
+
+void SsorPreconditioner::local_solve(NodeId i, std::span<const double> b,
+                                     std::span<double> y) const {
+  const CsrMatrix& blk = block_[static_cast<std::size_t>(i)];
+  const auto& d = diag_[static_cast<std::size_t>(i)];
+  const Index n = blk.rows();
+  // Forward sweep: (D/w + L) u = b.
+  for (Index r = 0; r < n; ++r) {
+    double s = b[static_cast<std::size_t>(r)];
+    const auto cols = blk.row_cols(r);
+    const auto vals = blk.row_vals(r);
+    for (std::size_t p = 0; p < cols.size() && cols[p] < r; ++p)
+      s -= vals[p] * y[static_cast<std::size_t>(cols[p])];
+    y[static_cast<std::size_t>(r)] = s * omega_ / d[static_cast<std::size_t>(r)];
+  }
+  // Diagonal scaling: v = (2-w)/w * D u ... folded into the backward sweep
+  // input: t = D u * (2-w)/w.
+  for (Index r = 0; r < n; ++r)
+    y[static_cast<std::size_t>(r)] *=
+        d[static_cast<std::size_t>(r)] * (2.0 - omega_) / omega_;
+  // Backward sweep: (D/w + U) z = t, with U = Lᵀ read row-wise from above
+  // the diagonal.
+  for (Index r = n - 1; r >= 0; --r) {
+    double s = y[static_cast<std::size_t>(r)];
+    const auto cols = blk.row_cols(r);
+    const auto vals = blk.row_vals(r);
+    for (std::size_t p = cols.size(); p-- > 0 && cols[p] > r;)
+      s -= vals[p] * y[static_cast<std::size_t>(cols[p])];
+    y[static_cast<std::size_t>(r)] = s * omega_ / d[static_cast<std::size_t>(r)];
+  }
+}
+
+void SsorPreconditioner::local_multiply(NodeId i, std::span<const double> x,
+                                        std::span<double> y) const {
+  const CsrMatrix& blk = block_[static_cast<std::size_t>(i)];
+  const auto& d = diag_[static_cast<std::size_t>(i)];
+  const Index n = blk.rows();
+  std::vector<double> t(static_cast<std::size_t>(n));
+  // t = (D/w + U) x.
+  for (Index r = 0; r < n; ++r) {
+    double s = d[static_cast<std::size_t>(r)] / omega_ * x[static_cast<std::size_t>(r)];
+    const auto cols = blk.row_cols(r);
+    const auto vals = blk.row_vals(r);
+    for (std::size_t p = 0; p < cols.size(); ++p)
+      if (cols[p] > r) s += vals[p] * x[static_cast<std::size_t>(cols[p])];
+    t[static_cast<std::size_t>(r)] = s;
+  }
+  // t := D^{-1} t.
+  for (Index r = 0; r < n; ++r)
+    t[static_cast<std::size_t>(r)] /= d[static_cast<std::size_t>(r)];
+  // y = w/(2-w) (D/w + L) t.
+  for (Index r = 0; r < n; ++r) {
+    double s = d[static_cast<std::size_t>(r)] / omega_ * t[static_cast<std::size_t>(r)];
+    const auto cols = blk.row_cols(r);
+    const auto vals = blk.row_vals(r);
+    for (std::size_t p = 0; p < cols.size() && cols[p] < r; ++p)
+      s += vals[p] * t[static_cast<std::size_t>(cols[p])];
+    y[static_cast<std::size_t>(r)] = s * omega_ / (2.0 - omega_);
+  }
+}
+
+void SsorPreconditioner::apply(Cluster& cluster, const DistVector& r,
+                               DistVector& z, Phase phase) const {
+  const int nn = cluster.num_nodes();
+#ifdef RPCG_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (NodeId i = 0; i < nn; ++i) {
+    local_solve(i, r.block(i), z.block(i));
+  }
+  cluster.charge_compute(phase, apply_flops_);
+}
+
+void SsorPreconditioner::esr_recover_residual(
+    Cluster& cluster, std::span<const Index> rows, std::span<const double> z_f,
+    const DistVector& /*r*/, const DistVector& /*z*/,
+    std::span<double> r_f) const {
+  double flops = 0.0;
+  std::size_t pos = 0;
+  while (pos < rows.size()) {
+    const NodeId f = partition_->owner(rows[pos]);
+    const auto bsize = static_cast<std::size_t>(partition_->size(f));
+    RPCG_REQUIRE(pos + bsize <= rows.size() &&
+                     rows[pos] == partition_->begin(f) &&
+                     rows[pos + bsize - 1] == partition_->end(f) - 1,
+                 "failed rows must cover whole node blocks");
+    local_multiply(f, z_f.subspan(pos, bsize), r_f.subspan(pos, bsize));
+    flops += 4.0 * static_cast<double>(block_[static_cast<std::size_t>(f)].nnz());
+    pos += bsize;
+  }
+  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(flops));
+}
+
+}  // namespace rpcg

@@ -1,0 +1,143 @@
+#include "repro/harness.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rpcg::repro {
+
+std::string to_string(FailureLocation loc) {
+  return loc == FailureLocation::kStart ? "start" : "center";
+}
+
+double overhead_pct(double t, double t_ref) {
+  RPCG_CHECK(t_ref > 0.0, "reference time must be positive");
+  return 100.0 * (t - t_ref) / t_ref;
+}
+
+ExperimentRunner::ExperimentRunner(const CsrMatrix& a, ExperimentConfig cfg)
+    : a_(&a),
+      cfg_(cfg),
+      partition_(Partition::block_rows(a.rows(), cfg.num_nodes)),
+      a_dist_(DistMatrix::distribute(a, partition_)),
+      m_(make_preconditioner(cfg.precond, a, partition_)),
+      b_(partition_) {
+  // Right-hand side from a known smooth solution x*, so b = A x*; the solver
+  // starts from x0 = 0 and the relative residual target is well defined.
+  std::vector<double> x_true(static_cast<std::size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i)
+    x_true[static_cast<std::size_t>(i)] =
+        1.0 + std::sin(0.01 * static_cast<double>(i));
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  a.spmv(x_true, b);
+  b_.set_global(b);
+}
+
+ResilientPcgResult ExperimentRunner::run(const ResilientPcgOptions& opts,
+                                         const FailureSchedule& schedule,
+                                         std::uint64_t rep_seed) {
+  Cluster cluster(partition_, CommParams{});
+  cluster.clock().set_noise(cfg_.noise_cv, rep_seed);
+  ResilientPcg solver(cluster, *a_, a_dist_, *m_, opts);
+  DistVector x(partition_);
+  return solver.solve(b_, x, schedule);
+}
+
+ResilientPcgResult ExperimentRunner::run_reference(std::uint64_t rep_seed) {
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = RecoveryMethod::kNone;
+  return run(opts, {}, rep_seed);
+}
+
+ResilientPcgResult ExperimentRunner::run_undisturbed(int phi,
+                                                     std::uint64_t rep_seed) {
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = phi;
+  opts.strategy = cfg_.strategy;
+  opts.esr.local_rtol = cfg_.local_rtol;
+  return run(opts, {}, rep_seed);
+}
+
+ResilientPcgResult ExperimentRunner::run_with_failures(int phi, int psi,
+                                                       FailureLocation loc,
+                                                       double progress,
+                                                       std::uint64_t rep_seed) {
+  RPCG_CHECK(psi >= 1 && psi <= phi, "need 1 <= psi <= phi");
+  const FailureSchedule schedule = FailureSchedule::contiguous(
+      failure_iteration(progress), first_rank(loc), psi);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = phi;
+  opts.strategy = cfg_.strategy;
+  opts.esr.local_rtol = cfg_.local_rtol;
+  return run(opts, schedule, rep_seed);
+}
+
+ResilientPcgResult ExperimentRunner::run_baseline(RecoveryMethod method, int psi,
+                                                  FailureLocation loc,
+                                                  double progress,
+                                                  int checkpoint_interval,
+                                                  std::uint64_t rep_seed) {
+  const FailureSchedule schedule = FailureSchedule::contiguous(
+      failure_iteration(progress), first_rank(loc), psi);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = method;
+  opts.checkpoint_interval = checkpoint_interval;
+  opts.esr.local_rtol = cfg_.local_rtol;
+  return run(opts, schedule, rep_seed);
+}
+
+ResilientPcgResult ExperimentRunner::run_baseline_failure_free(
+    RecoveryMethod method, int checkpoint_interval, std::uint64_t rep_seed) {
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = method;
+  opts.checkpoint_interval = checkpoint_interval;
+  opts.esr.local_rtol = cfg_.local_rtol;
+  return run(opts, {}, rep_seed);
+}
+
+ResilientPcgResult ExperimentRunner::run_with_schedule(
+    int phi, const FailureSchedule& schedule, std::uint64_t rep_seed) {
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = cfg_.rtol;
+  opts.pcg.max_iterations = cfg_.max_iterations;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = phi;
+  opts.strategy = cfg_.strategy;
+  opts.esr.local_rtol = cfg_.local_rtol;
+  return run(opts, schedule, rep_seed);
+}
+
+int ExperimentRunner::reference_iterations() {
+  if (reference_iterations_ < 0) {
+    Cluster cluster(partition_, CommParams{});  // noise-free
+    ResilientPcgOptions opts;
+    opts.pcg.rtol = cfg_.rtol;
+    opts.pcg.max_iterations = cfg_.max_iterations;
+    ResilientPcg solver(cluster, *a_, a_dist_, *m_, opts);
+    DistVector x(partition_);
+    const auto res = solver.solve(b_, x, {});
+    RPCG_CHECK(res.converged, "reference run did not converge");
+    reference_iterations_ = res.iterations;
+  }
+  return reference_iterations_;
+}
+
+int ExperimentRunner::failure_iteration(double progress) {
+  RPCG_CHECK(progress > 0.0 && progress < 1.0, "progress must be in (0,1)");
+  const int it = static_cast<int>(progress * reference_iterations());
+  return std::max(1, it);
+}
+
+}  // namespace rpcg::repro

@@ -1,0 +1,104 @@
+// The experiment runner behind every table/figure bench: builds the
+// distributed problem once, then executes reference / undisturbed /
+// with-failure runs following the paper's protocol (failures in contiguous
+// ranks at "start" = rank 0 or "center" = rank N/2, injected at 20/50/80 %
+// of the reference iteration count, repeated with deterministic noise
+// seeds).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resilient_pcg.hpp"
+#include "repro/matrices.hpp"
+#include "util/stats.hpp"
+
+namespace rpcg::repro {
+
+struct ExperimentConfig {
+  int num_nodes = 128;            ///< the paper's VSC3 node count
+  std::string precond = "bjacobi";
+  double rtol = 1e-8;             ///< paper's termination criterion
+  double local_rtol = 1e-14;      ///< paper's reconstruction tolerance
+  int reps = 3;                   ///< repetitions per configuration
+  double noise_cv = 0.02;         ///< timing jitter (box-plot spread)
+  BackupStrategy strategy = BackupStrategy::kPaperAlternating;
+  int max_iterations = 200000;
+};
+
+/// Where the contiguous failed ranks start (paper Sec. 7.1).
+enum class FailureLocation { kStart, kCenter };
+
+[[nodiscard]] std::string to_string(FailureLocation loc);
+
+class ExperimentRunner {
+ public:
+  /// The matrix reference must outlive the runner.
+  ExperimentRunner(const CsrMatrix& a, ExperimentConfig cfg);
+
+  /// Reference (non-resilient, non-redundant) PCG run.
+  ResilientPcgResult run_reference(std::uint64_t rep_seed);
+
+  /// ESR-capable run with phi redundant copies and no failures
+  /// ("relative overhead undisturbed" column of Table 2).
+  ResilientPcgResult run_undisturbed(int phi, std::uint64_t rep_seed);
+
+  /// ESR run with psi <= phi simultaneous failures at `progress` (fraction
+  /// of the reference iteration count) in contiguous ranks at `loc`.
+  ResilientPcgResult run_with_failures(int phi, int psi, FailureLocation loc,
+                                       double progress, std::uint64_t rep_seed);
+
+  /// Same failure protocol under a baseline method (checkpoint/restart or
+  /// interpolation-restart); psi failures, no redundant copies.
+  ResilientPcgResult run_baseline(RecoveryMethod method, int psi,
+                                  FailureLocation loc, double progress,
+                                  int checkpoint_interval,
+                                  std::uint64_t rep_seed);
+
+  /// Failure-free run under a baseline method (shows e.g. the checkpoint
+  /// cost that accrues even without failures).
+  ResilientPcgResult run_baseline_failure_free(RecoveryMethod method,
+                                               int checkpoint_interval,
+                                               std::uint64_t rep_seed);
+
+  /// Run with an arbitrary schedule (overlapping-failure studies).
+  ResilientPcgResult run_with_schedule(int phi, const FailureSchedule& schedule,
+                                       std::uint64_t rep_seed);
+
+  /// Noise-free reference iteration count (cached; used to place failures).
+  [[nodiscard]] int reference_iterations();
+
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] const DistVector& rhs() const { return b_; }
+  [[nodiscard]] const DistMatrix& matrix() const { return a_dist_; }
+  [[nodiscard]] const CsrMatrix& matrix_global() const { return *a_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+  [[nodiscard]] const Preconditioner& preconditioner() const { return *m_; }
+
+  /// First failing rank for the paper's two placements.
+  [[nodiscard]] NodeId first_rank(FailureLocation loc) const {
+    return loc == FailureLocation::kStart ? 0 : cfg_.num_nodes / 2;
+  }
+
+  /// Failure iteration for a progress fraction (paper: 20/50/80 %).
+  [[nodiscard]] int failure_iteration(double progress);
+
+ private:
+  [[nodiscard]] ResilientPcgResult run(const ResilientPcgOptions& opts,
+                                       const FailureSchedule& schedule,
+                                       std::uint64_t rep_seed);
+
+  const CsrMatrix* a_;
+  ExperimentConfig cfg_;
+  Partition partition_;
+  DistMatrix a_dist_;
+  std::unique_ptr<Preconditioner> m_;
+  DistVector b_;
+  int reference_iterations_ = -1;
+};
+
+/// Relative overhead in percent: 100 * (t - t_ref) / t_ref.
+[[nodiscard]] double overhead_pct(double t, double t_ref);
+
+}  // namespace rpcg::repro

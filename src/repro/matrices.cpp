@@ -1,0 +1,115 @@
+#include "repro/matrices.hpp"
+
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "util/check.hpp"
+
+namespace rpcg::repro {
+
+namespace {
+
+Index scaled_dim(double paper_value, double scale, double exponent) {
+  // Grid dimension so that the total size is ~paper_value / scale.
+  const double target = paper_value / scale;
+  return std::max<Index>(4, static_cast<Index>(std::llround(std::pow(target, exponent))));
+}
+
+}  // namespace
+
+ReproMatrix make_matrix(int index, double scale) {
+  RPCG_CHECK(index >= 1 && index <= 8, "matrix index must be in 1..8");
+  RPCG_CHECK(scale >= 1.0, "scale must be >= 1");
+  ReproMatrix m;
+  m.id = "M" + std::to_string(index);
+  switch (index) {
+    case 1: {  // parabolic_fem: 2-D FEM, ~7 nnz/row
+      m.paper_name = "parabolic_fem";
+      m.problem_type = "Fluid dynamics";
+      m.paper_n = 525825;
+      m.paper_nnz = 3674625;
+      const Index g = scaled_dim(static_cast<double>(m.paper_n), scale, 0.5);
+      m.matrix = fem2d_p1(g, g);
+      break;
+    }
+    case 2: {  // offshore: irregular electromagnetics, ~16 nnz/row
+      m.paper_name = "offshore";
+      m.problem_type = "Electromagnetics";
+      m.paper_n = 259789;
+      m.paper_nnz = 4242673;
+      const auto n = static_cast<Index>(static_cast<double>(m.paper_n) / scale);
+      m.matrix = random_spd(n, 16, 0.7, std::max<Index>(64, n / 50), 0xA2);
+      break;
+    }
+    case 3: {  // G3_circuit: circuit, ~4.8 nnz/row, long-range couplings
+      m.paper_name = "G3_circuit";
+      m.problem_type = "Circuit simulation";
+      m.paper_n = 1585478;
+      m.paper_nnz = 7660826;
+      const Index g = scaled_dim(static_cast<double>(m.paper_n), scale, 0.5);
+      m.matrix = circuit_like(g, g, 0.02, 0xA3);
+      break;
+    }
+    case 4: {  // thermal2: 3-D thermal, ~7 nnz/row
+      m.paper_name = "thermal2";
+      m.problem_type = "Thermal";
+      m.paper_n = 1228045;
+      m.paper_nnz = 8580313;
+      const Index g = scaled_dim(static_cast<double>(m.paper_n), scale, 1.0 / 3.0);
+      m.matrix = poisson3d_7pt(g, g, g);
+      break;
+    }
+    case 5: {  // Emilia_923: structural, ~43.7 nnz/row
+      m.paper_name = "Emilia_923";
+      m.problem_type = "Structural";
+      m.paper_n = 923136;
+      m.paper_nnz = 40373538;
+      const Index g =
+          scaled_dim(static_cast<double>(m.paper_n) / 3.0, scale, 1.0 / 3.0);
+      m.matrix = elasticity3d(g, g, g, Stencil3d::kFacesCorners14, 0.02, 0xA5);
+      break;
+    }
+    case 6: {  // Geo_1438: structural, ~41.9 nnz/row
+      m.paper_name = "Geo_1438";
+      m.problem_type = "Structural";
+      m.paper_n = 1437960;
+      m.paper_nnz = 60236322;
+      const Index g =
+          scaled_dim(static_cast<double>(m.paper_n) / 3.0, scale, 1.0 / 3.0);
+      m.matrix = elasticity3d(g, g, g, Stencil3d::kFacesCorners14, 0.08, 0xA6);
+      break;
+    }
+    case 7: {  // Serena: structural, ~46.1 nnz/row
+      m.paper_name = "Serena";
+      m.problem_type = "Structural";
+      m.paper_n = 1391349;
+      m.paper_nnz = 64131971;
+      const Index g =
+          scaled_dim(static_cast<double>(m.paper_n) / 3.0, scale, 1.0 / 3.0);
+      m.matrix = elasticity3d(g, g, g, Stencil3d::kFacesEdges18, 0.15, 0xA7);
+      break;
+    }
+    case 8: {  // audikw_1: structural, ~82.3 nnz/row, dense band
+      m.paper_name = "audikw_1";
+      m.problem_type = "Structural";
+      m.paper_n = 943695;
+      m.paper_nnz = 77651847;
+      const Index g =
+          scaled_dim(static_cast<double>(m.paper_n) / 3.0, scale, 1.0 / 3.0);
+      m.matrix = elasticity3d(g, g, g, Stencil3d::kFull26, 0.0, 0xA8);
+      break;
+    }
+    default:
+      break;
+  }
+  return m;
+}
+
+std::vector<ReproMatrix> make_all_matrices(double scale) {
+  std::vector<ReproMatrix> out;
+  out.reserve(8);
+  for (int i = 1; i <= 8; ++i) out.push_back(make_matrix(i, scale));
+  return out;
+}
+
+}  // namespace rpcg::repro

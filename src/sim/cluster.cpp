@@ -1,0 +1,74 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+void SimClock::advance(Phase phase, double seconds) {
+  RPCG_REQUIRE(seconds >= 0.0, "cannot advance the clock backwards");
+  if (paused_) return;
+  double s = seconds;
+  if (noise_cv_ > 0.0) s *= rng_.lognormal_unit_mean(noise_cv_);
+  by_phase_[static_cast<std::size_t>(phase)] += s;
+}
+
+double SimClock::total() const {
+  double t = 0.0;
+  for (const double v : by_phase_) t += v;
+  return t;
+}
+
+void SimClock::set_noise(double cv, std::uint64_t seed) {
+  noise_cv_ = cv;
+  rng_ = Rng(seed);
+}
+
+void SimClock::reset() { by_phase_.fill(0.0); }
+
+Cluster::Cluster(Partition partition, CommParams comm_params)
+    : partition_(std::move(partition)),
+      comm_(comm_params),
+      alive_(static_cast<std::size_t>(partition_.num_nodes()), true),
+      alive_count_(partition_.num_nodes()) {}
+
+void Cluster::fail_node(NodeId i) {
+  RPCG_CHECK(i >= 0 && i < num_nodes(), "node id out of range");
+  RPCG_CHECK(alive_[static_cast<std::size_t>(i)], "node already failed");
+  alive_[static_cast<std::size_t>(i)] = false;
+  --alive_count_;
+}
+
+void Cluster::replace_node(NodeId i) {
+  RPCG_CHECK(i >= 0 && i < num_nodes(), "node id out of range");
+  RPCG_CHECK(!alive_[static_cast<std::size_t>(i)], "node is not failed");
+  alive_[static_cast<std::size_t>(i)] = true;
+  ++alive_count_;
+}
+
+std::vector<NodeId> Cluster::failed_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i)
+    if (!alive_[static_cast<std::size_t>(i)]) out.push_back(i);
+  return out;
+}
+
+void Cluster::charge_compute(Phase phase, std::span<const double> per_node_flops) {
+  double mx = 0.0;
+  for (const double f : per_node_flops) mx = std::max(mx, f);
+  clock_.advance(phase, comm_.compute_cost(mx));
+}
+
+void Cluster::charge_parallel_seconds(Phase phase,
+                                      std::span<const double> per_node_seconds) {
+  double mx = 0.0;
+  for (const double s : per_node_seconds) mx = std::max(mx, s);
+  clock_.advance(phase, mx);
+}
+
+void Cluster::charge_allreduce(Phase phase, int scalars) {
+  clock_.advance(phase, comm_.allreduce_cost(alive_count_, scalars));
+}
+
+}  // namespace rpcg

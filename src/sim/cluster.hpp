@@ -1,0 +1,116 @@
+// The simulated distributed-memory parallel computer: N nodes, an
+// interconnection network with a latency–bandwidth cost model, fail-stop node
+// failures and replacement nodes (Sec. 1.1 of the paper). Time is simulated:
+// operations report their per-node costs and the cluster clock advances by
+// the parallel (max-over-nodes) cost, optionally perturbed by deterministic
+// log-normal noise to emulate machine jitter for box-plot statistics.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sim/comm_model.hpp"
+#include "sim/partition.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+/// Accounting buckets of the simulated clock. The repro harness uses these to
+/// report the paper's "undisturbed overhead" (kRedundancy) and "relative
+/// reconstruction time" (kRecovery) columns separately.
+enum class Phase : int {
+  kIteration = 0,   ///< baseline PCG work (SpMV, BLAS1, reductions, precond)
+  kRedundancy = 1,  ///< extra traffic for the phi redundant copies
+  kCheckpoint = 2,  ///< checkpoint/restart baseline writes and rollbacks
+  kRecovery = 3,    ///< failure recovery (gathers, local solves, re-arming)
+};
+inline constexpr int kNumPhases = 4;
+
+class SimClock {
+ public:
+  /// Advances the clock by `seconds`, attributed to `phase`. When a noise
+  /// coefficient of variation is set, the increment is multiplied by a
+  /// deterministic log-normal factor with unit mean.
+  void advance(Phase phase, double seconds);
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double in_phase(Phase phase) const {
+    return by_phase_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Enables noisy timing. cv = 0 disables noise (exact model time).
+  void set_noise(double cv, std::uint64_t seed);
+
+  /// While paused, advance() is a no-op (used for diagnostics such as
+  /// true-residual checks that a real solver would not perform).
+  void set_paused(bool paused) { paused_ = paused; }
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  void reset();
+
+ private:
+  std::array<double, kNumPhases> by_phase_{};
+  double noise_cv_ = 0.0;
+  bool paused_ = false;
+  Rng rng_;
+};
+
+/// RAII guard that pauses a SimClock for the duration of a scope.
+class ClockPause {
+ public:
+  explicit ClockPause(SimClock& clock) : clock_(clock), was_(clock.paused()) {
+    clock_.set_paused(true);
+  }
+  ~ClockPause() { clock_.set_paused(was_); }
+  ClockPause(const ClockPause&) = delete;
+  ClockPause& operator=(const ClockPause&) = delete;
+
+ private:
+  SimClock& clock_;
+  bool was_;
+};
+
+class Cluster {
+ public:
+  Cluster(Partition partition, CommParams comm_params);
+
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] int num_nodes() const { return partition_.num_nodes(); }
+  [[nodiscard]] const CommModel& comm() const { return comm_; }
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+
+  /// Marks a node failed (fail-stop: its memory contents are gone; data
+  /// structures holding per-node state are invalidated by their owners).
+  void fail_node(NodeId i);
+
+  /// Brings a replacement node online in place of a failed node.
+  void replace_node(NodeId i);
+
+  [[nodiscard]] bool is_alive(NodeId i) const {
+    return alive_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int alive_count() const { return alive_count_; }
+  [[nodiscard]] std::vector<NodeId> failed_nodes() const;
+
+  /// Advances the clock by the parallel cost of a compute step in which node
+  /// i spends per_node_flops[i] flops: max_i flops_i / rate.
+  void charge_compute(Phase phase, std::span<const double> per_node_flops);
+
+  /// Advances the clock by max(per_node_seconds) (already-costed
+  /// communication rounds; see ScatterPlan::comm_cost_per_node).
+  void charge_parallel_seconds(Phase phase, std::span<const double> per_node_seconds);
+
+  /// Charges an allreduce over the currently-alive nodes.
+  void charge_allreduce(Phase phase, int scalars);
+
+ private:
+  Partition partition_;
+  CommModel comm_;
+  SimClock clock_;
+  std::vector<bool> alive_;
+  int alive_count_ = 0;
+};
+
+}  // namespace rpcg

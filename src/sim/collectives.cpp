@@ -1,0 +1,97 @@
+#include "sim/collectives.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+namespace {
+
+// Charges a BLAS-1 operation with `flops_per_element` work per owned element.
+void charge_blas1(Cluster& cluster, double flops_per_element, Phase phase) {
+  const Partition& part = cluster.partition();
+  double mx = 0.0;
+  for (NodeId i = 0; i < part.num_nodes(); ++i)
+    mx = std::max(mx, static_cast<double>(part.size(i)));
+  cluster.clock().advance(phase,
+                          cluster.comm().compute_cost(flops_per_element * mx));
+}
+
+}  // namespace
+
+double allreduce_sum(Cluster& cluster, std::span<const double> per_node,
+                     Phase phase) {
+  RPCG_CHECK(static_cast<int>(per_node.size()) == cluster.num_nodes(),
+             "one contribution per node required");
+  double sum = 0.0;
+  for (const double v : per_node) sum += v;  // fixed order: deterministic
+  cluster.charge_allreduce(phase, 1);
+  return sum;
+}
+
+double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
+           Phase phase) {
+  const int nn = cluster.num_nodes();
+  std::vector<double> partial(static_cast<std::size_t>(nn), 0.0);
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto ab = a.block(i);
+    const auto bb = b.block(i);
+    double s = 0.0;
+    for (std::size_t k = 0; k < ab.size(); ++k) s += ab[k] * bb[k];
+    partial[static_cast<std::size_t>(i)] = s;
+  }
+  charge_blas1(cluster, 2.0, phase);
+  return allreduce_sum(cluster, partial, phase);
+}
+
+DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
+                 Phase phase) {
+  const int nn = cluster.num_nodes();
+  DotPair out;
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto rb = r.block(i);
+    const auto zb = z.block(i);
+    double rz = 0.0, rr = 0.0;
+    for (std::size_t k = 0; k < rb.size(); ++k) {
+      rz += rb[k] * zb[k];
+      rr += rb[k] * rb[k];
+    }
+    out.rz += rz;
+    out.rr += rr;
+  }
+  charge_blas1(cluster, 4.0, phase);
+  cluster.charge_allreduce(phase, 2);
+  return out;
+}
+
+void axpy(Cluster& cluster, double alpha, const DistVector& x, DistVector& y,
+          Phase phase) {
+  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
+    const auto xb = x.block(i);
+    auto yb = y.block(i);
+    for (std::size_t k = 0; k < xb.size(); ++k) yb[k] += alpha * xb[k];
+  }
+  charge_blas1(cluster, 2.0, phase);
+}
+
+void xpby(Cluster& cluster, const DistVector& x, double beta, DistVector& y,
+          Phase phase) {
+  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
+    const auto xb = x.block(i);
+    auto yb = y.block(i);
+    for (std::size_t k = 0; k < xb.size(); ++k) yb[k] = xb[k] + beta * yb[k];
+  }
+  charge_blas1(cluster, 2.0, phase);
+}
+
+void copy(Cluster& cluster, const DistVector& x, DistVector& y, Phase phase) {
+  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
+    const auto xb = x.block(i);
+    auto yb = y.block(i);
+    std::copy(xb.begin(), xb.end(), yb.begin());
+  }
+  charge_blas1(cluster, 1.0, phase);
+}
+
+}  // namespace rpcg

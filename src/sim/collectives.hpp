@@ -1,0 +1,44 @@
+// Distributed BLAS-1 operations and reductions on the simulated cluster,
+// with cost accounting. Reductions are computed deterministically (summation
+// in node order) — the replicated scalars alpha, beta of the PCG solver have
+// the same value on every node, as assumed by the paper for the recovery of
+// beta^(j-1).
+#pragma once
+
+#include <span>
+
+#include "sim/cluster.hpp"
+#include "sim/dist_vector.hpp"
+
+namespace rpcg {
+
+/// Allreduce-sum of per-node scalar contributions; returns the (replicated)
+/// result and charges the reduction cost.
+double allreduce_sum(Cluster& cluster, std::span<const double> per_node,
+                     Phase phase);
+
+/// Global dot product aᵀb (local dots + one allreduce of 1 scalar).
+double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
+           Phase phase);
+
+/// Computes rᵀz and rᵀr with a single batched allreduce of 2 scalars — the
+/// PCG engine's per-iteration convergence + beta reduction.
+struct DotPair {
+  double rz = 0.0;
+  double rr = 0.0;
+};
+DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
+                 Phase phase);
+
+/// y += alpha * x.
+void axpy(Cluster& cluster, double alpha, const DistVector& x, DistVector& y,
+          Phase phase);
+
+/// y = x + beta * y (the PCG search-direction update p = z + beta p).
+void xpby(Cluster& cluster, const DistVector& x, double beta, DistVector& y,
+          Phase phase);
+
+/// y = x (no communication; charged as a memory-bound copy).
+void copy(Cluster& cluster, const DistVector& x, DistVector& y, Phase phase);
+
+}  // namespace rpcg

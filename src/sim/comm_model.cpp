@@ -1,0 +1,15 @@
+#include "sim/comm_model.hpp"
+
+#include <cmath>
+
+namespace rpcg {
+
+double CommModel::allreduce_cost(int nodes, int scalars) const {
+  if (nodes <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
+  // Reduce + broadcast phases of a binomial tree.
+  return 2.0 * rounds *
+         (p_.latency_s + static_cast<double>(scalars) * p_.per_double_s);
+}
+
+}  // namespace rpcg

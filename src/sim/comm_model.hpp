@@ -1,0 +1,60 @@
+// Latency–bandwidth (alpha–beta) communication cost model plus a per-node
+// flop-rate compute model. This is the model the paper uses for its own
+// overhead analysis (Sec. 4.2): sending m vector elements from one node to
+// another costs lambda + m * mu; a node's sends are serialized; the cost of a
+// communication phase is the maximum over nodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace rpcg {
+
+struct CommParams {
+  /// Per-message latency lambda (seconds). VSC3-like interconnect default.
+  double latency_s = 1.5e-6;
+  /// Per-vector-element (double) transfer cost mu (seconds): 8 bytes at
+  /// ~10 GB/s effective bandwidth.
+  double per_double_s = 8.0 / 10.0e9;
+  /// Sustained per-node compute rate for the SpMV-dominated workload.
+  double flops_per_s = 2.0e9;
+  /// Per-node bandwidth to reliable external storage (checkpoint/restart
+  /// baseline and static-data re-fetch), doubles per second equivalent.
+  double storage_doubles_per_s = 1.0e9 / 8.0;
+  /// Latency of a reliable-storage access.
+  double storage_latency_s = 1.0e-3;
+};
+
+class CommModel {
+ public:
+  CommModel() = default;
+  explicit CommModel(CommParams p) : p_(p) {}
+
+  [[nodiscard]] const CommParams& params() const { return p_; }
+
+  /// Cost of one point-to-point message of `doubles` vector elements.
+  [[nodiscard]] double message_cost(Index doubles) const {
+    return p_.latency_s + static_cast<double>(doubles) * p_.per_double_s;
+  }
+
+  /// Cost of a tree-based allreduce of `scalars` doubles over `nodes` nodes.
+  [[nodiscard]] double allreduce_cost(int nodes, int scalars) const;
+
+  /// Compute time for the given flop count on one node.
+  [[nodiscard]] double compute_cost(double flops) const {
+    return flops / p_.flops_per_s;
+  }
+
+  /// Cost of writing/reading `doubles` elements to/from reliable storage.
+  [[nodiscard]] double storage_cost(Index doubles) const {
+    return p_.storage_latency_s +
+           static_cast<double>(doubles) / p_.storage_doubles_per_s;
+  }
+
+ private:
+  CommParams p_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,88 @@
+#include "sim/dist_matrix.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+DistMatrix DistMatrix::distribute(const CsrMatrix& a, const Partition& partition) {
+  RPCG_CHECK(a.rows() == a.cols(), "distributed matrices must be square");
+  RPCG_CHECK(a.rows() == partition.n(), "matrix/partition size mismatch");
+  DistMatrix d;
+  d.partition_ = &partition;
+  const int nn = partition.num_nodes();
+  d.local_.reserve(static_cast<std::size_t>(nn));
+  d.spmv_flops_.resize(static_cast<std::size_t>(nn));
+  for (NodeId i = 0; i < nn; ++i) {
+    const auto rows = partition.rows_of(i);
+    d.local_.push_back(a.extract_rows(rows));
+    d.spmv_flops_[static_cast<std::size_t>(i)] =
+        2.0 * static_cast<double>(d.local_.back().nnz());
+  }
+  d.plan_ = ScatterPlan::build(d);
+
+  // Column remap: own columns to [0, size_i), halo columns to
+  // [size_i, size_i + halo_size_i) following the plan's receive order.
+  d.remap_cols_.resize(static_cast<std::size_t>(nn));
+  for (NodeId i = 0; i < nn; ++i) {
+    std::unordered_map<Index, Index> halo_slot;
+    Index slot = partition.size(i);
+    for (const int id : d.plan_.recvs_of(i)) {
+      const auto& m = d.plan_.messages()[static_cast<std::size_t>(id)];
+      for (const Index g : m.indices) halo_slot.emplace(g, slot++);
+    }
+    const CsrMatrix& rows = d.local_[static_cast<std::size_t>(i)];
+    auto& remap = d.remap_cols_[static_cast<std::size_t>(i)];
+    remap.resize(static_cast<std::size_t>(rows.nnz()));
+    const auto cols = rows.col_idx();
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const Index c = cols[p];
+      if (c >= partition.begin(i) && c < partition.end(i)) {
+        remap[p] = c - partition.begin(i);
+      } else {
+        remap[p] = halo_slot.at(c);
+      }
+    }
+  }
+  return d;
+}
+
+void DistMatrix::local_spmv(NodeId i, std::span<const double> x_own,
+                            std::span<const double> halo,
+                            std::span<double> y) const {
+  const CsrMatrix& rows = local_[static_cast<std::size_t>(i)];
+  const auto& remap = remap_cols_[static_cast<std::size_t>(i)];
+  const auto rp = rows.row_ptr();
+  const auto vals = rows.values();
+  const Index own = static_cast<Index>(x_own.size());
+  RPCG_REQUIRE(static_cast<Index>(y.size()) == rows.rows(), "local_spmv size mismatch");
+  for (Index r = 0; r < rows.rows(); ++r) {
+    double acc = 0.0;
+    for (Index p = rp[static_cast<std::size_t>(r)]; p < rp[static_cast<std::size_t>(r) + 1]; ++p) {
+      const Index c = remap[static_cast<std::size_t>(p)];
+      const double xv = c < own ? x_own[static_cast<std::size_t>(c)]
+                                : halo[static_cast<std::size_t>(c - own)];
+      acc += vals[static_cast<std::size_t>(p)] * xv;
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void DistMatrix::spmv(Cluster& cluster, const DistVector& x, DistVector& y,
+                      std::vector<std::vector<double>>& halos, Phase phase) const {
+  RPCG_CHECK(cluster.alive_count() == cluster.num_nodes(),
+             "SpMV requires all nodes alive (recover first)");
+  execute_scatter(cluster, plan_, x, halos, phase);
+  const int nn = partition_->num_nodes();
+#ifdef RPCG_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (NodeId i = 0; i < nn; ++i) {
+    local_spmv(i, x.block(i), halos[static_cast<std::size_t>(i)], y.block(i));
+  }
+  cluster.charge_compute(phase, spmv_flops_);
+}
+
+}  // namespace rpcg

@@ -1,0 +1,73 @@
+// Block-row distributed sparse matrix with a PETSc-style split into local
+// and halo columns, plus the SpMV driver that performs the halo exchange and
+// charges simulated time.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/dist_vector.hpp"
+#include "sim/scatter_plan.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class DistMatrix {
+ public:
+  DistMatrix() = default;
+
+  /// Distributes a global square matrix over the partition: node i stores the
+  /// CSR block A_{I_i, I} with global column indices, the derived scatter
+  /// plan, and a column remap for fast local SpMV.
+  [[nodiscard]] static DistMatrix distribute(const CsrMatrix& a,
+                                             const Partition& partition);
+
+  [[nodiscard]] Index n() const { return partition_->n(); }
+  [[nodiscard]] const Partition& partition() const { return *partition_; }
+
+  /// Rows of node i with *global* column indices (used for submatrix
+  /// extraction during reconstruction).
+  [[nodiscard]] const CsrMatrix& local_rows(NodeId i) const {
+    return local_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] const ScatterPlan& scatter_plan() const { return plan_; }
+
+  /// Per-node nonzero counts (for the compute cost model).
+  [[nodiscard]] std::span<const double> spmv_flops_per_node() const {
+    return spmv_flops_;
+  }
+
+  /// y = A x on the simulated cluster: scatter (halo exchange) + local
+  /// multiplies. Requires all nodes alive. Charges communication and compute
+  /// to `phase`. `halos` is working storage reused across calls.
+  void spmv(Cluster& cluster, const DistVector& x, DistVector& y,
+            std::vector<std::vector<double>>& halos, Phase phase) const;
+
+  /// Local multiply only, for one node, given a filled halo buffer:
+  /// y_i = A_{I_i, I} [x_own; halo]. No cost accounting (callers aggregate).
+  void local_spmv(NodeId i, std::span<const double> x_own,
+                  std::span<const double> halo, std::span<double> y) const;
+
+  /// Remapped column indices of node i's local rows, aligned with
+  /// local_rows(i).col_idx(): values < partition().size(i) index the own
+  /// block, larger values index slot (value - size_i) of the halo buffer.
+  /// Enables custom local kernels (e.g. the stationary solvers' sweeps).
+  [[nodiscard]] std::span<const Index> remapped_cols(NodeId i) const {
+    return remap_cols_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  const Partition* partition_ = nullptr;
+  std::vector<CsrMatrix> local_;  // per node, global columns
+  ScatterPlan plan_;
+  // Per node: columns remapped for local SpMV: value c < size(i) refers to
+  // the own block, c >= size(i) refers to halo slot c - size(i).
+  std::vector<std::vector<Index>> remap_cols_;
+  std::vector<double> spmv_flops_;
+};
+
+}  // namespace rpcg

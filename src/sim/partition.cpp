@@ -1,0 +1,55 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+Partition Partition::block_rows(Index n, int num_nodes) {
+  RPCG_CHECK(n > 0 && num_nodes > 0, "need n > 0 and num_nodes > 0");
+  RPCG_CHECK(static_cast<Index>(num_nodes) <= n, "more nodes than rows");
+  Partition p;
+  p.n_ = n;
+  p.begin_.resize(static_cast<std::size_t>(num_nodes) + 1);
+  const Index base = n / num_nodes;
+  const Index extra = n % num_nodes;
+  Index pos = 0;
+  for (int i = 0; i <= num_nodes; ++i) {
+    p.begin_[static_cast<std::size_t>(i)] = pos;
+    if (i < num_nodes) pos += base + (i < extra ? 1 : 0);
+  }
+  return p;
+}
+
+Index Partition::max_block_size() const {
+  Index m = 0;
+  for (int i = 0; i < num_nodes(); ++i) m = std::max(m, size(i));
+  return m;
+}
+
+NodeId Partition::owner(Index row) const {
+  RPCG_CHECK(row >= 0 && row < n_, "row out of range");
+  const auto it = std::upper_bound(begin_.begin(), begin_.end(), row);
+  return static_cast<NodeId>(it - begin_.begin()) - 1;
+}
+
+std::vector<Index> Partition::rows_of(NodeId i) const {
+  std::vector<Index> rows(static_cast<std::size_t>(size(i)));
+  for (Index r = begin(i); r < end(i); ++r)
+    rows[static_cast<std::size_t>(r - begin(i))] = r;
+  return rows;
+}
+
+std::vector<Index> Partition::rows_of_set(std::span<const NodeId> nodes) const {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Index> rows;
+  for (const NodeId i : sorted) {
+    RPCG_CHECK(i >= 0 && i < num_nodes(), "node id out of range");
+    for (Index r = begin(i); r < end(i); ++r) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace rpcg

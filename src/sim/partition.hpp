@@ -1,0 +1,50 @@
+// Block-row partition of {0, ..., n-1} over N nodes — the data distribution
+// of Sec. 1.1.2 of the paper: every node owns a contiguous block of
+// floor(n/N) or ceil(n/N) rows of every matrix and vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Contiguous block-row distribution: the first (n mod N) nodes own
+  /// ceil(n/N) rows, the rest floor(n/N).
+  [[nodiscard]] static Partition block_rows(Index n, int num_nodes);
+
+  [[nodiscard]] Index n() const { return n_; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(begin_.size()) - 1; }
+
+  /// First global row owned by node i.
+  [[nodiscard]] Index begin(NodeId i) const { return begin_[static_cast<std::size_t>(i)]; }
+  /// One past the last global row owned by node i.
+  [[nodiscard]] Index end(NodeId i) const { return begin_[static_cast<std::size_t>(i) + 1]; }
+  [[nodiscard]] Index size(NodeId i) const { return end(i) - begin(i); }
+
+  /// Largest block size, i.e. ceil(n/N) (appears in the paper's upper bound
+  /// phi * (lambda_max + ceil(n/N) * mu)).
+  [[nodiscard]] Index max_block_size() const;
+
+  /// Owner of a global row (binary search; O(log N)).
+  [[nodiscard]] NodeId owner(Index row) const;
+
+  /// The sorted global indices owned by node i (materialized; handy for
+  /// submatrix extraction during reconstruction).
+  [[nodiscard]] std::vector<Index> rows_of(NodeId i) const;
+
+  /// The union of the blocks of several nodes, sorted ascending — the index
+  /// set I_F = I_{f1} ∪ ... ∪ I_{fψ} of a multi-node failure.
+  [[nodiscard]] std::vector<Index> rows_of_set(std::span<const NodeId> nodes) const;
+
+ private:
+  Index n_ = 0;
+  std::vector<Index> begin_;  // size N+1
+};
+
+}  // namespace rpcg

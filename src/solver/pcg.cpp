@@ -1,0 +1,82 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "sim/collectives.hpp"
+#include "util/check.hpp"
+
+namespace rpcg {
+
+double true_residual_norm(Cluster& cluster, const DistMatrix& a,
+                          const DistVector& b, const DistVector& x) {
+  ClockPause pause(cluster.clock());
+  DistVector ax(cluster.partition());
+  std::vector<std::vector<double>> halos;
+  a.spmv(cluster, x, ax, halos, Phase::kIteration);
+  DistVector diff(cluster.partition());
+  copy(cluster, b, diff, Phase::kIteration);
+  axpy(cluster, -1.0, ax, diff, Phase::kIteration);
+  return std::sqrt(dot(cluster, diff, diff, Phase::kIteration));
+}
+
+PcgResult pcg_solve(Cluster& cluster, const DistMatrix& a,
+                    const Preconditioner& m, const DistVector& b, DistVector& x,
+                    const PcgOptions& opts) {
+  RPCG_CHECK(cluster.alive_count() == cluster.num_nodes(),
+             "plain PCG cannot run with failed nodes");
+  const Partition& part = cluster.partition();
+  const Phase ph = Phase::kIteration;
+  DistVector r(part), z(part), p(part), u(part);
+  std::vector<std::vector<double>> halos;
+
+  // r^(0) = b - A x^(0); z^(0) = M^{-1} r^(0); p^(0) = z^(0).
+  a.spmv(cluster, x, u, halos, ph);
+  copy(cluster, b, r, ph);
+  axpy(cluster, -1.0, u, r, ph);
+  m.apply(cluster, r, z, ph);
+  copy(cluster, z, p, ph);
+
+  DotPair d0 = dot_pair(cluster, r, z, ph);
+  double rz = d0.rz;
+  const double rnorm0 = std::sqrt(d0.rr);
+
+  PcgResult res;
+  if (rnorm0 == 0.0) {
+    res.converged = true;
+    res.solver_residual_norm = 0.0;
+  } else {
+    for (int j = 0; j < opts.max_iterations; ++j) {
+      a.spmv(cluster, p, u, halos, ph);               // u = A p
+      const double pap = dot(cluster, p, u, ph);      // p^T A p
+      RPCG_REQUIRE(pap > 0.0, "matrix is not positive definite along p");
+      const double alpha = rz / pap;
+      axpy(cluster, alpha, p, x, ph);                 // x += alpha p
+      axpy(cluster, -alpha, u, r, ph);                // r -= alpha A p
+      m.apply(cluster, r, z, ph);                     // z = M^{-1} r
+      const DotPair d = dot_pair(cluster, r, z, ph);  // r^T z and ||r||^2
+      res.iterations = j + 1;
+      res.rel_residual = std::sqrt(d.rr) / rnorm0;
+      res.solver_residual_norm = std::sqrt(d.rr);
+      if (res.rel_residual <= opts.rtol) {
+        res.converged = true;
+        break;
+      }
+      const double beta = d.rz / rz;
+      rz = d.rz;
+      xpby(cluster, z, beta, p, ph);                  // p = z + beta p
+    }
+  }
+
+  res.true_residual_norm = true_residual_norm(cluster, a, b, x);
+  if (res.true_residual_norm > 0.0) {
+    res.delta_metric = (res.solver_residual_norm - res.true_residual_norm) /
+                       res.true_residual_norm;
+  }
+  res.sim_time = cluster.clock().total();
+  for (int ph_i = 0; ph_i < kNumPhases; ++ph_i)
+    res.sim_time_phase[static_cast<std::size_t>(ph_i)] =
+        cluster.clock().in_phase(static_cast<Phase>(ph_i));
+  return res;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,35 @@
+// Sequential preconditioned CG on a plain CSR matrix. This is the solver the
+// ESR reconstruction runs on the replacement nodes to solve the local system
+// A_{If,If} x_{If} = w (Alg. 2, line 8), with an IC(0) preconditioner and a
+// very tight tolerance (the paper uses a relative residual reduction of
+// 1e14), so that the reconstructed state is exact up to round-off.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/ic0.hpp"
+
+namespace rpcg {
+
+struct SeqPcgOptions {
+  double rtol = 1e-14;       ///< relative residual reduction target
+  int max_iterations = 20000;
+};
+
+struct SeqPcgResult {
+  bool converged = false;
+  int iterations = 0;
+  double rel_residual = 0.0;
+  double flops = 0.0;  ///< total flops spent (for the simulated cost model)
+};
+
+/// Solves A x = b with PCG; x holds the initial guess on entry and the
+/// solution on exit. `m` is an optional IC(0) preconditioner (nullptr: none).
+[[nodiscard]] SeqPcgResult seq_pcg_solve(const CsrMatrix& a,
+                                         std::span<const double> b,
+                                         std::span<double> x,
+                                         const SeqPcgOptions& opts,
+                                         const Ic0* m = nullptr);
+
+}  // namespace rpcg

@@ -1,0 +1,72 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+void TripletBuilder::reserve(std::size_t n) {
+  rows_.reserve(n);
+  cols_.reserve(n);
+  vals_.reserve(n);
+}
+
+void TripletBuilder::add(Index r, Index c, double v) {
+  rows_.push_back(r);
+  cols_.push_back(c);
+  vals_.push_back(v);
+}
+
+void TripletBuilder::add_sym(Index r, Index c, double v) {
+  add(r, c, v);
+  if (r != c) add(c, r, v);
+}
+
+CsrMatrix TripletBuilder::build(Index rows, Index cols, bool drop_zeros) const {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    RPCG_CHECK(rows_[i] >= 0 && rows_[i] < rows && cols_[i] >= 0 && cols_[i] < cols,
+               "triplet out of range");
+  }
+  // Counting sort by row, then sort each row's entries by column and merge
+  // duplicates. O(nnz log(row nnz)) without materializing a global sort.
+  std::vector<Index> row_count(static_cast<std::size_t>(rows) + 1, 0);
+  for (const Index r : rows_) ++row_count[static_cast<std::size_t>(r) + 1];
+  std::partial_sum(row_count.begin(), row_count.end(), row_count.begin());
+
+  std::vector<std::pair<Index, double>> sorted(rows_.size());
+  {
+    std::vector<Index> next(row_count.begin(), row_count.end() - 1);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto dst = static_cast<std::size_t>(next[static_cast<std::size_t>(rows_[i])]++);
+      sorted[dst] = {cols_[i], vals_[i]};
+    }
+  }
+
+  std::vector<Index> rp;
+  rp.reserve(static_cast<std::size_t>(rows) + 1);
+  rp.push_back(0);
+  std::vector<Index> ci;
+  std::vector<double> v;
+  ci.reserve(rows_.size());
+  v.reserve(rows_.size());
+  for (Index r = 0; r < rows; ++r) {
+    const auto lo = static_cast<std::size_t>(row_count[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(row_count[static_cast<std::size_t>(r) + 1]);
+    std::sort(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+              sorted.begin() + static_cast<std::ptrdiff_t>(hi));
+    for (std::size_t p = lo; p < hi;) {
+      const Index c = sorted[p].first;
+      double acc = 0.0;
+      for (; p < hi && sorted[p].first == c; ++p) acc += sorted[p].second;
+      if (drop_zeros && acc == 0.0) continue;
+      ci.push_back(c);
+      v.push_back(acc);
+    }
+    rp.push_back(static_cast<Index>(ci.size()));
+  }
+  return CsrMatrix(rows, cols, std::move(rp), std::move(ci), std::move(v));
+}
+
+}  // namespace rpcg

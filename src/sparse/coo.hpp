@@ -1,0 +1,39 @@
+// Triplet (COO) accumulator used by all matrix generators. Duplicate entries
+// are summed on build, which lets generators express stencils and finite
+// element style assembly naturally.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class TripletBuilder {
+ public:
+  TripletBuilder() = default;
+
+  /// Reserves capacity for n triplets.
+  void reserve(std::size_t n);
+
+  /// Adds A(r, c) += v.
+  void add(Index r, Index c, double v);
+
+  /// Adds A(r, c) += v and A(c, r) += v (for r != c), keeping symmetry.
+  void add_sym(Index r, Index c, double v);
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Builds the CSR matrix, summing duplicates and dropping exact zeros that
+  /// result from cancellation only when drop_zeros is set.
+  [[nodiscard]] CsrMatrix build(Index rows, Index cols,
+                                bool drop_zeros = false) const;
+
+ private:
+  std::vector<Index> rows_;
+  std::vector<Index> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,58 @@
+// Small dense matrices and a dense Cholesky factorization. Used for the 3x3
+// coupling blocks of the elasticity generator, for tiny preconditioner
+// blocks, and as a reference implementation in tests.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows * cols), 0.0) {}
+
+  [[nodiscard]] static DenseMatrix identity(Index n);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(Index r, Index c) {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] double operator()(Index r, Index c) const {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// Dense Cholesky A = L Lᵀ for SPD A. factor() returns std::nullopt when a
+/// nonpositive pivot is encountered (A not numerically SPD).
+class DenseCholesky {
+ public:
+  [[nodiscard]] static std::optional<DenseCholesky> factor(const DenseMatrix& a);
+
+  /// Solves A x = b in place (x aliases b on entry).
+  void solve_in_place(std::span<double> b) const;
+
+  [[nodiscard]] Index dim() const { return l_.rows(); }
+
+ private:
+  explicit DenseCholesky(DenseMatrix l) : l_(std::move(l)) {}
+  DenseMatrix l_;
+};
+
+}  // namespace rpcg

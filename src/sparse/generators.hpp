@@ -1,0 +1,75 @@
+// SPD sparse matrix generators. These produce the synthetic analogues of the
+// paper's SuiteSparse test matrices (see repro/matrices.hpp) as well as the
+// parameterized families used by tests and ablation benches.
+//
+// All generators return symmetric positive definite matrices built as sums of
+// SPD edge/stencil contributions plus a relative diagonal shift, so positive
+// definiteness holds by construction for any parameter choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+/// Classic 5-point Dirichlet Laplacian on an nx-by-ny grid (SPD).
+[[nodiscard]] CsrMatrix poisson2d_5pt(Index nx, Index ny);
+
+/// 7-point Laplacian of a structured triangular (P1 FEM) mesh on an
+/// nx-by-ny grid: 5-point neighbours plus the (+1,+1)/(-1,-1) diagonal.
+/// Analogue pattern class of parabolic_fem (avg ~7 nnz/row).
+[[nodiscard]] CsrMatrix fem2d_p1(Index nx, Index ny, double shift = 1e-4);
+
+/// 7-point Dirichlet Laplacian on an nx-by-ny-by-nz grid (thermal2-like).
+[[nodiscard]] CsrMatrix poisson3d_7pt(Index nx, Index ny, Index nz);
+
+/// Circuit-like irregular SPD matrix: weighted graph Laplacian of a 2-D grid
+/// with `extra_edge_frac * n` additional uniformly random long-range edges
+/// (vias/supply nets), plus a relative diagonal shift. G3_circuit-like:
+/// low average degree, irregular long-range couplings.
+[[nodiscard]] CsrMatrix circuit_like(Index nx, Index ny, double extra_edge_frac,
+                                     std::uint64_t seed, double shift = 1e-3);
+
+/// Random sparse SPD matrix with approximately `target_row_nnz` entries per
+/// row: a fraction `band_fraction` of the off-diagonals fall inside a band of
+/// half-width `half_band`, the rest are uniform random. offshore-like
+/// (moderate degree, partially banded, irregular).
+[[nodiscard]] CsrMatrix random_spd(Index n, int target_row_nnz,
+                                   double band_fraction, Index half_band,
+                                   std::uint64_t seed, double shift = 1e-3);
+
+/// Neighbour stencil sets for elasticity3d.
+enum class Stencil3d {
+  kFaces6,         ///< 6 face neighbours (7-point)
+  kFacesCorners14, ///< 6 faces + 8 corners (15-point) — Emilia/Geo-like
+  kFacesEdges18,   ///< 6 faces + 12 edges (19-point) — Serena-like
+  kFull26,         ///< all 26 neighbours (27-point) — audikw-like dense band
+};
+
+/// 3-D linear-elasticity-like SPD block matrix: 3 degrees of freedom per grid
+/// vertex, SPD 3x3 coupling blocks along the chosen stencil, assembled
+/// graph-Laplacian style (A[ii] += K, A[jj] += K, A[ij] -= K) plus a relative
+/// diagonal shift. `drop_frac` removes that fraction of neighbour couplings
+/// (symmetrically, seeded) to tune the average nnz/row continuously.
+[[nodiscard]] CsrMatrix elasticity3d(Index nx, Index ny, Index nz, Stencil3d set,
+                                     double drop_frac, std::uint64_t seed,
+                                     double shift = 5e-3);
+
+/// Banded SPD matrix: all off-diagonals within half-bandwidth `half_band`
+/// present with probability `density` (seeded, symmetric), diagonally
+/// dominant. With `periodic` the band wraps around (circulant pattern) so
+/// every block-row has neighbours on both sides — the exact regime in which
+/// Sec. 5 of the paper predicts zero redundancy overhead. Used by the
+/// sparsity-pattern ablation.
+[[nodiscard]] CsrMatrix banded_spd(Index n, Index half_band, double density,
+                                   std::uint64_t seed, bool periodic = false);
+
+/// Tridiagonal SPD matrix (the smallest nontrivial banded case; handy in
+/// tests and as an explicitly invertible preconditioner).
+[[nodiscard]] CsrMatrix tridiag_spd(Index n, double diag = 2.0,
+                                    double off = -1.0);
+
+}  // namespace rpcg

@@ -1,0 +1,56 @@
+// Incomplete Cholesky factorization with zero fill-in, IC(0).
+// This is the (approximate, ILU-style) factorization the paper uses to
+// precondition the local linear system solved during state reconstruction
+// (Sec. 6: "approximate solver based on ILU factorization for the blocks").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class Ic0 {
+ public:
+  /// Factorizes A ≈ L Lᵀ on the lower-triangular pattern of A. If a
+  /// nonpositive pivot occurs, retries with an increasing diagonal shift
+  /// (up to max_shift_retries times); returns std::nullopt if all retries
+  /// break down.
+  [[nodiscard]] static std::optional<Ic0> factor(const CsrMatrix& a,
+                                                 int max_shift_retries = 8);
+
+  /// Applies the preconditioner: solves L Lᵀ x = b.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] Index dim() const { return lower_.rows(); }
+
+  /// Diagonal shift that was needed to complete the factorization (0 if none).
+  [[nodiscard]] double shift_used() const { return shift_; }
+
+  [[nodiscard]] Index l_nnz() const { return lower_.nnz(); }
+
+  /// Flop count of one solve, for the simulated-time cost model.
+  [[nodiscard]] double solve_flops() const {
+    return 4.0 * static_cast<double>(lower_.nnz());
+  }
+
+  /// Lower-triangular factor L (rows sorted, diagonal included).
+  [[nodiscard]] const CsrMatrix& l() const { return lower_; }
+
+  /// y = L (Lᵀ x): applies M = L Lᵀ, used by the split-preconditioner ESR
+  /// variant to recover the residual from the preconditioned residual.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  Ic0(CsrMatrix lower, CsrMatrix upper, double shift)
+      : lower_(std::move(lower)), upper_(std::move(upper)), shift_(shift) {}
+
+  CsrMatrix lower_;  // L by rows (forward substitution)
+  CsrMatrix upper_;  // Lᵀ by rows (backward substitution)
+  double shift_ = 0.0;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,115 @@
+#include "sparse/ldlt.hpp"
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a) {
+  RPCG_CHECK(a.rows() == a.cols(), "LDLt needs a square matrix");
+  const Index n = a.rows();
+  SparseLdlt f;
+  f.n_ = n;
+
+  // --- Symbolic pass: elimination tree and per-column counts of L. ---
+  std::vector<Index> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Index> flag(static_cast<std::size_t>(n), -1);
+  std::vector<Index> lnz(static_cast<std::size_t>(n), 0);
+  for (Index k = 0; k < n; ++k) {
+    flag[static_cast<std::size_t>(k)] = k;
+    for (Index i : a.row_cols(k)) {
+      if (i >= k) continue;
+      // Walk from i up the partially built elimination tree, marking the
+      // path: every vertex on the path gains an entry in column "vertex" of
+      // row k of L.
+      for (; flag[static_cast<std::size_t>(i)] != k; i = parent[static_cast<std::size_t>(i)]) {
+        if (parent[static_cast<std::size_t>(i)] == -1)
+          parent[static_cast<std::size_t>(i)] = k;
+        ++lnz[static_cast<std::size_t>(i)];
+        flag[static_cast<std::size_t>(i)] = k;
+      }
+    }
+  }
+  f.lp_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Index j = 0; j < n; ++j)
+    f.lp_[static_cast<std::size_t>(j) + 1] =
+        f.lp_[static_cast<std::size_t>(j)] + lnz[static_cast<std::size_t>(j)];
+  f.li_.assign(static_cast<std::size_t>(f.lp_.back()), 0);
+  f.lx_.assign(static_cast<std::size_t>(f.lp_.back()), 0.0);
+  f.d_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // --- Numeric pass (up-looking, row by row). ---
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  std::vector<Index> pattern(static_cast<std::size_t>(n));
+  std::vector<Index> next(static_cast<std::size_t>(n), 0);  // fill position per column
+  std::fill(flag.begin(), flag.end(), Index{-1});
+  std::fill(lnz.begin(), lnz.end(), Index{0});
+
+  for (Index k = 0; k < n; ++k) {
+    Index top = n;
+    flag[static_cast<std::size_t>(k)] = k;
+    const auto cols = a.row_cols(k);
+    const auto vals = a.row_vals(k);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      Index i = cols[p];
+      if (i > k) continue;
+      y[static_cast<std::size_t>(i)] += vals[p];
+      Index len = 0;
+      for (; flag[static_cast<std::size_t>(i)] != k; i = parent[static_cast<std::size_t>(i)]) {
+        pattern[static_cast<std::size_t>(len++)] = i;
+        flag[static_cast<std::size_t>(i)] = k;
+      }
+      // Reverse the freshly discovered chain onto the pattern stack so the
+      // final pattern [top, n) is in ascending (topological) order.
+      while (len > 0) pattern[static_cast<std::size_t>(--top)] = pattern[static_cast<std::size_t>(--len)];
+    }
+
+    double dk = y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] = 0.0;
+    for (; top < n; ++top) {
+      const Index i = pattern[static_cast<std::size_t>(top)];
+      const double yi = y[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = 0.0;
+      const Index p2 = f.lp_[static_cast<std::size_t>(i)] + lnz[static_cast<std::size_t>(i)];
+      for (Index p = f.lp_[static_cast<std::size_t>(i)]; p < p2; ++p)
+        y[static_cast<std::size_t>(f.li_[static_cast<std::size_t>(p)])] -=
+            f.lx_[static_cast<std::size_t>(p)] * yi;
+      f.factor_flops_ += 2.0 * static_cast<double>(p2 - f.lp_[static_cast<std::size_t>(i)]) + 4.0;
+      const double lki = yi / f.d_[static_cast<std::size_t>(i)];
+      dk -= lki * yi;
+      f.li_[static_cast<std::size_t>(p2)] = k;
+      f.lx_[static_cast<std::size_t>(p2)] = lki;
+      ++lnz[static_cast<std::size_t>(i)];
+    }
+    if (dk <= 0.0) return std::nullopt;  // not positive definite
+    f.d_[static_cast<std::size_t>(k)] = dk;
+  }
+  return f;
+}
+
+void SparseLdlt::solve_in_place(std::span<double> b) const {
+  RPCG_CHECK(static_cast<Index>(b.size()) == n_, "solve size mismatch");
+  // L y = b (unit lower triangular, stored by columns).
+  for (Index j = 0; j < n_; ++j) {
+    const double bj = b[static_cast<std::size_t>(j)];
+    for (Index p = lp_[static_cast<std::size_t>(j)]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+      b[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+          lx_[static_cast<std::size_t>(p)] * bj;
+  }
+  // D z = y.
+  for (Index j = 0; j < n_; ++j) b[static_cast<std::size_t>(j)] /= d_[static_cast<std::size_t>(j)];
+  // Lᵀ x = z.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    double s = b[static_cast<std::size_t>(j)];
+    for (Index p = lp_[static_cast<std::size_t>(j)]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+      s -= lx_[static_cast<std::size_t>(p)] * b[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])];
+    b[static_cast<std::size_t>(j)] = s;
+  }
+}
+
+void SparseLdlt::solve(std::span<const double> b, std::span<double> x) const {
+  RPCG_CHECK(b.size() == x.size(), "solve size mismatch");
+  std::copy(b.begin(), b.end(), x.begin());
+  solve_in_place(x);
+}
+
+}  // namespace rpcg

@@ -1,0 +1,61 @@
+// Sparse simplicial LDLᵀ factorization (elimination-tree based, up-looking).
+// Provides the *exact* local solves the library needs:
+//   * block Jacobi preconditioner blocks are "solved exactly" (paper Sec. 6),
+//   * the explicit-P variant of Alg. 2 solves P_{If,If} r_{If} = v exactly,
+//   * the accuracy ablation solves A_{If,If} x_{If} = w directly instead of
+//     iteratively.
+// The algorithm follows the classical LDL approach of Davis (elimination tree
+// + per-row pattern via tree walks), reimplemented from the textbook
+// description.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace rpcg {
+
+class SparseLdlt {
+ public:
+  /// Factorizes the SPD matrix A (full symmetric storage, sorted rows).
+  /// Returns std::nullopt if a nonpositive pivot arises (A not numerically
+  /// positive definite).
+  [[nodiscard]] static std::optional<SparseLdlt> factor(const CsrMatrix& a);
+
+  /// Solves A x = b in place (b becomes x).
+  void solve_in_place(std::span<double> b) const;
+
+  /// Convenience out-of-place solve.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] Index dim() const { return n_; }
+
+  /// Number of stored entries of L (excluding the unit diagonal).
+  [[nodiscard]] Index l_nnz() const { return static_cast<Index>(li_.size()); }
+
+  /// Flop count of one solve (forward + diagonal + backward), used by the
+  /// simulated-time cost model.
+  [[nodiscard]] double solve_flops() const {
+    return 4.0 * static_cast<double>(l_nnz()) + static_cast<double>(n_);
+  }
+
+  /// Flops spent in the numeric factorization (cost model for the local
+  /// solves set up during reconstruction).
+  [[nodiscard]] double factor_flops() const { return factor_flops_; }
+
+ private:
+  SparseLdlt() = default;
+
+  Index n_ = 0;
+  // L stored by columns (unit diagonal implicit).
+  std::vector<Index> lp_;   // column pointers, size n+1
+  std::vector<Index> li_;   // row indices
+  std::vector<double> lx_;  // values
+  std::vector<double> d_;   // diagonal of D
+  double factor_flops_ = 0.0;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,25 @@
+// Matrix Market (coordinate, real) reader/writer so users can solve their own
+// SuiteSparse problems with the resilient solver (see examples/).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace rpcg {
+
+/// Reads a MatrixMarket "matrix coordinate real {general|symmetric}" stream.
+/// Symmetric files are expanded to full storage. Throws std::invalid_argument
+/// on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience overload reading from a file path.
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes full (general) coordinate format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace rpcg

@@ -1,0 +1,67 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    RPCG_CHECK(tok.size() > 2 && tok.rfind("--", 0) == 0,
+               "options must start with --, got: " + tok);
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[tok] = argv[++i];
+    } else {
+      kv_[tok] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+long Options::get_int(const std::string& key, long fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<long> Options::get_int_list(const std::string& key,
+                                        std::vector<long> fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<long> out;
+  std::string s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtol(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  RPCG_CHECK(!out.empty(), "empty integer list for --" + key);
+  return out;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,35 @@
+// Minimal command-line option parser used by benches and examples.
+// Accepts "--key=value", "--key value", and boolean "--flag" forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rpcg {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv. Throws std::invalid_argument on malformed input
+  /// (non "--"-prefixed tokens).
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. "--phis=1,3,8".
+  [[nodiscard]] std::vector<long> get_int_list(const std::string& key,
+                                               std::vector<long> fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace rpcg

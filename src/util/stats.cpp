@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+namespace {
+
+// Quantile with linear interpolation between order statistics.
+double quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> sample) {
+  RPCG_CHECK(!sample.empty(), "cannot summarize an empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  Summary s;
+  s.count = sorted.size();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = quantile(sorted, 0.25);
+  s.median = quantile(sorted, 0.50);
+  s.q3 = quantile(sorted, 0.75);
+
+  const double iqr = s.q3 - s.q1;
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (double v : sorted) {
+    if (v >= s.q1 - 1.5 * iqr) {
+      s.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= s.q3 + 1.5 * iqr) {
+      s.whisker_hi = *it;
+      break;
+    }
+  }
+  return s;
+}
+
+std::string mean_pm_std(const Summary& s, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << s.mean << " ± " << s.stddev;
+  return os.str();
+}
+
+}  // namespace rpcg

@@ -1,0 +1,31 @@
+// Descriptive statistics for experiment aggregation (Table 2 mean ± stddev,
+// Figs. 1–4 box plots with interquartile range and 1.5 IQR whiskers).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rpcg {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double q1 = 0.0;      ///< first quartile (linear interpolation)
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double whisker_lo = 0.0;  ///< smallest sample >= q1 - 1.5*IQR
+  double whisker_hi = 0.0;  ///< largest  sample <= q3 + 1.5*IQR
+};
+
+/// Computes the summary of a sample. Requires a non-empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Renders "mean ± stddev" with the given precision, e.g. "2.8 ± 1.0".
+[[nodiscard]] std::string mean_pm_std(const Summary& s, int precision = 1);
+
+}  // namespace rpcg

@@ -1,0 +1,25 @@
+// Wall-clock timer for the real-time measurements that accompany the
+// simulated-time results.
+#pragma once
+
+#include <chrono>
+
+namespace rpcg {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,15 @@
+// Fundamental scalar and index types shared by the whole library.
+#pragma once
+
+#include <cstdint>
+
+namespace rpcg {
+
+/// Global row/column/element index. 64-bit so that paper-scale problems
+/// (n up to ~1.6M rows, ~78M nonzeros) are comfortably representable.
+using Index = std::int64_t;
+
+/// Identifier of a (simulated) compute node, 0-based.
+using NodeId = int;
+
+}  // namespace rpcg

@@ -1,0 +1,60 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpcg {
+namespace {
+
+Cluster make_cluster(int nodes = 4, Index n = 100) {
+  return Cluster(Partition::block_rows(n, nodes), CommParams{});
+}
+
+TEST(Cluster, FailAndReplaceLifecycle) {
+  Cluster c = make_cluster();
+  EXPECT_EQ(c.alive_count(), 4);
+  EXPECT_TRUE(c.is_alive(2));
+  c.fail_node(2);
+  EXPECT_FALSE(c.is_alive(2));
+  EXPECT_EQ(c.alive_count(), 3);
+  EXPECT_EQ(c.failed_nodes(), std::vector<NodeId>{2});
+  c.replace_node(2);
+  EXPECT_TRUE(c.is_alive(2));
+  EXPECT_EQ(c.alive_count(), 4);
+}
+
+TEST(Cluster, DoubleFailThrows) {
+  Cluster c = make_cluster();
+  c.fail_node(1);
+  EXPECT_THROW(c.fail_node(1), std::invalid_argument);
+  EXPECT_THROW(c.replace_node(0), std::invalid_argument);
+  EXPECT_THROW(c.fail_node(17), std::invalid_argument);
+}
+
+TEST(Cluster, ChargeComputeTakesMax) {
+  Cluster c = make_cluster();
+  const std::vector<double> flops{1e9, 3e9, 2e9, 0.0};
+  c.charge_compute(Phase::kIteration, flops);
+  EXPECT_DOUBLE_EQ(c.clock().in_phase(Phase::kIteration),
+                   3e9 / CommParams{}.flops_per_s);
+}
+
+TEST(Cluster, ChargeParallelSecondsTakesMax) {
+  Cluster c = make_cluster();
+  const std::vector<double> secs{0.1, 0.7, 0.2, 0.3};
+  c.charge_parallel_seconds(Phase::kRecovery, secs);
+  EXPECT_DOUBLE_EQ(c.clock().in_phase(Phase::kRecovery), 0.7);
+}
+
+TEST(Cluster, AllreduceUsesAliveCount) {
+  Cluster c = make_cluster(8, 128);
+  c.charge_allreduce(Phase::kIteration, 1);
+  const double full = c.clock().in_phase(Phase::kIteration);
+  // Kill 4 of 8 nodes: one fewer tree round (log2(4) vs log2(8)).
+  for (NodeId i = 4; i < 8; ++i) c.fail_node(i);
+  c.clock().reset();
+  c.charge_allreduce(Phase::kIteration, 1);
+  EXPECT_NEAR(c.clock().in_phase(Phase::kIteration) / full, 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rpcg

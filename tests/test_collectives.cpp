@@ -1,0 +1,103 @@
+#include "sim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rpcg {
+namespace {
+
+using testing::random_vector;
+
+struct Fixture {
+  Partition part = Partition::block_rows(23, 5);  // uneven blocks on purpose
+  Cluster cluster{part, CommParams{}};
+  DistVector a{part}, b{part};
+
+  Fixture() {
+    a.set_global(random_vector(23, 1));
+    b.set_global(random_vector(23, 2));
+  }
+};
+
+TEST(Collectives, DotMatchesSequential) {
+  Fixture f;
+  const auto ga = f.a.gather_global();
+  const auto gb = f.b.gather_global();
+  double expect = 0.0;
+  for (std::size_t i = 0; i < ga.size(); ++i) expect += ga[i] * gb[i];
+  EXPECT_NEAR(dot(f.cluster, f.a, f.b, Phase::kIteration), expect, 1e-14);
+  EXPECT_GT(f.cluster.clock().total(), 0.0);
+}
+
+TEST(Collectives, DotPairMatchesTwoDots) {
+  Fixture f;
+  const double rz = dot(f.cluster, f.a, f.b, Phase::kIteration);
+  const double rr = dot(f.cluster, f.a, f.a, Phase::kIteration);
+  const DotPair d = dot_pair(f.cluster, f.a, f.b, Phase::kIteration);
+  EXPECT_NEAR(d.rz, rz, 1e-14);
+  EXPECT_NEAR(d.rr, rr, 1e-14);
+}
+
+TEST(Collectives, DotPairBatchesTheReduction) {
+  // One batched allreduce of 2 scalars must be cheaper than two allreduces.
+  Fixture f1, f2;
+  (void)dot_pair(f1.cluster, f1.a, f1.b, Phase::kIteration);
+  (void)dot(f2.cluster, f2.a, f2.b, Phase::kIteration);
+  (void)dot(f2.cluster, f2.a, f2.a, Phase::kIteration);
+  EXPECT_LT(f1.cluster.clock().total(), f2.cluster.clock().total());
+}
+
+TEST(Collectives, Axpy) {
+  Fixture f;
+  const auto ga = f.a.gather_global();
+  const auto gb = f.b.gather_global();
+  axpy(f.cluster, 2.5, f.a, f.b, Phase::kIteration);
+  const auto result = f.b.gather_global();
+  for (std::size_t i = 0; i < ga.size(); ++i)
+    EXPECT_NEAR(result[i], gb[i] + 2.5 * ga[i], 1e-14);
+}
+
+TEST(Collectives, XpbyImplementsSearchDirectionUpdate) {
+  Fixture f;
+  const auto ga = f.a.gather_global();
+  const auto gb = f.b.gather_global();
+  xpby(f.cluster, f.a, 0.75, f.b, Phase::kIteration);  // b = a + 0.75 b
+  const auto result = f.b.gather_global();
+  for (std::size_t i = 0; i < ga.size(); ++i)
+    EXPECT_NEAR(result[i], ga[i] + 0.75 * gb[i], 1e-14);
+}
+
+TEST(Collectives, Copy) {
+  Fixture f;
+  copy(f.cluster, f.a, f.b, Phase::kIteration);
+  EXPECT_EQ(f.a.gather_global(), f.b.gather_global());
+}
+
+TEST(Collectives, AllreduceSumDeterministicOrder) {
+  Fixture f;
+  const std::vector<double> contrib{0.1, 0.2, 0.3, 0.4, 0.5};
+  const double s1 = allreduce_sum(f.cluster, contrib, Phase::kIteration);
+  const double s2 = allreduce_sum(f.cluster, contrib, Phase::kIteration);
+  EXPECT_DOUBLE_EQ(s1, s2);  // bitwise identical, fixed summation order
+  EXPECT_DOUBLE_EQ(s1, 0.1 + 0.2 + 0.3 + 0.4 + 0.5);
+}
+
+TEST(Collectives, AllreduceRequiresOneContributionPerNode) {
+  Fixture f;
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW((void)allreduce_sum(f.cluster, wrong, Phase::kIteration),
+               std::invalid_argument);
+}
+
+TEST(Collectives, OperationsOnLostBlockThrow) {
+  Fixture f;
+  f.a.invalidate(2);
+  EXPECT_THROW((void)dot(f.cluster, f.a, f.b, Phase::kIteration),
+               std::logic_error);
+  EXPECT_THROW(axpy(f.cluster, 1.0, f.a, f.b, Phase::kIteration),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,84 @@
+#include "sim/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace rpcg {
+namespace {
+
+TEST(CommModel, MessageCostIsAffine) {
+  CommParams p;
+  p.latency_s = 2e-6;
+  p.per_double_s = 1e-9;
+  const CommModel m(p);
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 2e-6);
+  EXPECT_DOUBLE_EQ(m.message_cost(1000), 2e-6 + 1e-6);
+}
+
+TEST(CommModel, AllreduceScalesLogarithmically) {
+  const CommModel m{CommParams{}};
+  EXPECT_DOUBLE_EQ(m.allreduce_cost(1, 4), 0.0);
+  const double c2 = m.allreduce_cost(2, 1);
+  const double c128 = m.allreduce_cost(128, 1);
+  EXPECT_NEAR(c128 / c2, 7.0, 1e-9);  // log2(128) = 7 rounds vs 1
+}
+
+TEST(CommModel, ComputeAndStorage) {
+  CommParams p;
+  p.flops_per_s = 1e9;
+  p.storage_latency_s = 1e-3;
+  p.storage_doubles_per_s = 1e6;
+  const CommModel m(p);
+  EXPECT_DOUBLE_EQ(m.compute_cost(2e9), 2.0);
+  EXPECT_DOUBLE_EQ(m.storage_cost(1e6), 1e-3 + 1.0);
+}
+
+TEST(SimClock, PhasesAccumulateSeparately) {
+  SimClock c;
+  c.advance(Phase::kIteration, 1.0);
+  c.advance(Phase::kRedundancy, 0.25);
+  c.advance(Phase::kRecovery, 0.5);
+  c.advance(Phase::kIteration, 1.0);
+  EXPECT_DOUBLE_EQ(c.in_phase(Phase::kIteration), 2.0);
+  EXPECT_DOUBLE_EQ(c.in_phase(Phase::kRedundancy), 0.25);
+  EXPECT_DOUBLE_EQ(c.in_phase(Phase::kRecovery), 0.5);
+  EXPECT_DOUBLE_EQ(c.in_phase(Phase::kCheckpoint), 0.0);
+  EXPECT_DOUBLE_EQ(c.total(), 2.75);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.total(), 0.0);
+}
+
+TEST(SimClock, NoiseIsDeterministicPerSeed) {
+  SimClock a, b, c;
+  a.set_noise(0.05, 99);
+  b.set_noise(0.05, 99);
+  c.set_noise(0.05, 100);
+  for (int i = 0; i < 10; ++i) {
+    a.advance(Phase::kIteration, 1.0);
+    b.advance(Phase::kIteration, 1.0);
+    c.advance(Phase::kIteration, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+  EXPECT_NE(a.total(), c.total());
+  EXPECT_NEAR(a.total(), 10.0, 1.0);  // unit-mean noise
+}
+
+TEST(SimClock, PauseSuppressesAdvance) {
+  SimClock c;
+  c.advance(Phase::kIteration, 1.0);
+  {
+    ClockPause pause(c);
+    c.advance(Phase::kIteration, 100.0);
+  }
+  c.advance(Phase::kIteration, 1.0);
+  EXPECT_DOUBLE_EQ(c.total(), 2.0);
+}
+
+TEST(SimClock, NegativeAdvanceThrows) {
+  SimClock c;
+  EXPECT_THROW(c.advance(Phase::kIteration, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,67 @@
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rpcg {
+namespace {
+
+TEST(Coo, DuplicatesAreSummed) {
+  TripletBuilder b;
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  const CsrMatrix m = b.build(2, 2);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.value_at(0, 0), 3.5);
+}
+
+TEST(Coo, RowsAreSortedUnique) {
+  TripletBuilder b;
+  b.add(0, 3, 1.0);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 1.0);
+  const CsrMatrix m = b.build(1, 4);
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 3);
+}
+
+TEST(Coo, AddSymAddsBothTriangles) {
+  TripletBuilder b;
+  b.add_sym(0, 1, 7.0);
+  b.add_sym(2, 2, 3.0);  // diagonal only once
+  const CsrMatrix m = b.build(3, 3);
+  EXPECT_DOUBLE_EQ(m.value_at(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.value_at(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.value_at(2, 2), 3.0);
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(Coo, DropZerosOnCancellation) {
+  TripletBuilder b;
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  b.add(0, 1, 2.0);
+  EXPECT_EQ(b.build(1, 2, /*drop_zeros=*/true).nnz(), 1);
+  EXPECT_EQ(b.build(1, 2, /*drop_zeros=*/false).nnz(), 2);
+}
+
+TEST(Coo, OutOfRangeThrows) {
+  TripletBuilder b;
+  b.add(5, 0, 1.0);
+  EXPECT_THROW((void)b.build(2, 2), std::invalid_argument);
+}
+
+TEST(Coo, EmptyBuilderMakesEmptyMatrix) {
+  TripletBuilder b;
+  const CsrMatrix m = b.build(3, 3);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.rows(), 3);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,76 @@
+#include "sim/dist_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rpcg {
+namespace {
+
+TEST(DistVector, BlocksMatchPartition) {
+  const Partition part = Partition::block_rows(10, 4);
+  DistVector v(part);
+  EXPECT_EQ(v.n(), 10);
+  EXPECT_EQ(v.block(0).size(), 3u);
+  EXPECT_EQ(v.block(3).size(), 2u);
+  for (NodeId i = 0; i < 4; ++i)
+    for (const double x : v.block(i)) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(DistVector, GlobalRoundTripAndValue) {
+  const Partition part = Partition::block_rows(7, 3);
+  DistVector v(part);
+  std::vector<double> g{0, 1, 2, 3, 4, 5, 6};
+  v.set_global(g);
+  EXPECT_EQ(v.gather_global(), g);
+  EXPECT_DOUBLE_EQ(v.value(4), 4.0);
+  EXPECT_DOUBLE_EQ(v.block(1)[0], 3.0);  // node 1 owns rows 3..4
+}
+
+TEST(DistVector, InvalidateModelsDataLoss) {
+  const Partition part = Partition::block_rows(8, 2);
+  DistVector v(part);
+  v.set_global(std::vector<double>{1, 1, 1, 1, 2, 2, 2, 2});
+  v.invalidate(1);
+  EXPECT_FALSE(v.is_valid(1));
+  EXPECT_TRUE(v.is_valid(0));
+  EXPECT_THROW((void)v.block(1), std::logic_error);
+  EXPECT_THROW((void)v.value(5), std::logic_error);
+  EXPECT_THROW((void)v.gather_global(), std::logic_error);
+  // Surviving block remains readable.
+  EXPECT_DOUBLE_EQ(v.block(0)[0], 1.0);
+}
+
+TEST(DistVector, RestoreBringsBlockBack) {
+  const Partition part = Partition::block_rows(8, 2);
+  DistVector v(part);
+  v.invalidate(0);
+  const std::vector<double> vals{9, 8, 7, 6};
+  v.restore_block(0, vals);
+  EXPECT_TRUE(v.is_valid(0));
+  EXPECT_DOUBLE_EQ(v.block(0)[3], 6.0);
+  // Wrong size restore must be rejected.
+  EXPECT_THROW(v.restore_block(0, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(DistVector, RevalidateZero) {
+  const Partition part = Partition::block_rows(6, 2);
+  DistVector v(part);
+  v.set_global(std::vector<double>{1, 2, 3, 4, 5, 6});
+  v.invalidate(1);
+  v.revalidate_zero(1);
+  EXPECT_TRUE(v.is_valid(1));
+  for (const double x : v.block(1)) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(DistVector, SetZeroRevalidatesEverything) {
+  const Partition part = Partition::block_rows(6, 3);
+  DistVector v(part);
+  v.invalidate(0);
+  v.set_zero();
+  EXPECT_TRUE(v.is_valid(0));
+  EXPECT_DOUBLE_EQ(v.value(0), 0.0);
+}
+
+}  // namespace
+}  // namespace rpcg

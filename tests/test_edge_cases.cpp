@@ -1,0 +1,207 @@
+// Edge cases across the stack: degenerate cluster shapes, extreme phi,
+// failures at boundary iterations, and non-convergence reporting.
+#include <gtest/gtest.h>
+
+#include "core/resilient_pcg.hpp"
+#include "repro/harness.hpp"
+#include "sparse/generators.hpp"
+#include "test_util.hpp"
+
+namespace rpcg {
+namespace {
+
+using testing::max_diff;
+using testing::random_vector;
+
+struct Problem {
+  CsrMatrix a;
+  Partition part;
+  DistVector b;
+  std::vector<double> x_ref;
+
+  Problem(CsrMatrix matrix, int nodes)
+      : a(std::move(matrix)),
+        part(Partition::block_rows(a.rows(), nodes)),
+        b(part),
+        x_ref(random_vector(a.rows(), 47)) {
+    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
+    a.spmv(x_ref, bg);
+    b.set_global(bg);
+  }
+};
+
+TEST(EdgeCases, SingleNodeCluster) {
+  // N = 1: no communication at all, no redundancy possible (phi < N = 1),
+  // but the plain solver must work.
+  Problem p(poisson2d_5pt(10, 10), 1);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res = solver.solve(p.b, x, {});
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-6);
+}
+
+TEST(EdgeCases, OneRowPerNode) {
+  // n == N: every node owns exactly one row.
+  Problem p(tridiag_spd(12), 12);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("jacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-10;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = 2;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res = solver.solve(p.b, x, FailureSchedule::contiguous(2, 5, 2));
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-7);
+}
+
+TEST(EdgeCases, PhiEqualsNMinusOne) {
+  // Maximum supported redundancy: all other nodes hold a copy; then even
+  // N - 1 simultaneous failures are recoverable.
+  Problem p(poisson2d_5pt(8, 8), 4);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = 3;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res = solver.solve(p.b, x, FailureSchedule::contiguous(3, 1, 3));
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-6);
+}
+
+TEST(EdgeCases, FailureNearConvergence) {
+  // Failure one iteration before the failure-free convergence point.
+  Problem p(poisson2d_5pt(10, 10), 5);
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  int ref_iters = 0;
+  {
+    Cluster cluster(p.part, CommParams{});
+    ResilientPcgOptions opts;
+    opts.pcg.rtol = 1e-9;
+    ResilientPcg solver(cluster, p.a, *m, opts);
+    DistVector x(p.part);
+    ref_iters = solver.solve(p.b, x, {}).iterations;
+  }
+  Cluster cluster(p.part, CommParams{});
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = 1;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res =
+      solver.solve(p.b, x, FailureSchedule::contiguous(ref_iters - 1, 0, 1));
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-6);
+}
+
+TEST(EdgeCases, EventsAfterConvergenceNeverFire) {
+  Problem p(poisson2d_5pt(8, 8), 4);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-8;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = 1;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res =
+      solver.solve(p.b, x, FailureSchedule::contiguous(100000, 0, 1));
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.recoveries.empty());
+}
+
+TEST(EdgeCases, NonConvergenceIsReportedHonestly) {
+  Problem p(poisson2d_5pt(16, 16), 4);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_identity_preconditioner();
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-14;
+  opts.pcg.max_iterations = 5;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res = solver.solve(p.b, x, {});
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 5);
+  EXPECT_GT(res.rel_residual, 1e-14);
+}
+
+TEST(EdgeCases, CheckpointBeforeFirstIntervalRollsBackToZero) {
+  Problem p(poisson2d_5pt(10, 10), 5);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.method = RecoveryMethod::kCheckpointRestart;
+  opts.checkpoint_interval = 50;  // failure strikes before the 2nd checkpoint
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  DistVector x(p.part);
+  const auto res = solver.solve(p.b, x, FailureSchedule::contiguous(7, 1, 1));
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.rolled_back_iterations, 7);  // back to the iteration-0 save
+  EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-6);
+}
+
+TEST(EdgeCases, HarnessScheduleRunWithOverlap) {
+  repro::ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.noise_cv = 0.0;
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  repro::ExperimentRunner runner(a, cfg);
+  FailureSchedule schedule;
+  const int at = runner.failure_iteration(0.5);
+  schedule.add({at, {1, 2}, false});
+  schedule.add({at, {5}, true});
+  const auto res = runner.run_with_schedule(3, schedule, 3);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_EQ(res.recoveries[0].nodes.size(), 3u);
+}
+
+TEST(EdgeCases, AllPrecondsThroughHarness) {
+  for (const char* precond : {"jacobi", "bjacobi", "ic0", "ssor"}) {
+    repro::ExperimentConfig cfg;
+    cfg.num_nodes = 8;
+    cfg.precond = precond;
+    cfg.noise_cv = 0.0;
+    const CsrMatrix a = poisson2d_5pt(10, 10);
+    repro::ExperimentRunner runner(a, cfg);
+    const auto res =
+        runner.run_with_failures(2, 2, repro::FailureLocation::kCenter, 0.5, 1);
+    EXPECT_TRUE(res.converged) << precond;
+  }
+}
+
+TEST(EdgeCases, RedundancyAccessorsOnSolver) {
+  Problem p(poisson2d_5pt(8, 8), 4);
+  Cluster cluster(p.part, CommParams{});
+  const auto m = make_preconditioner("bjacobi", p.a, p.part);
+  ResilientPcgOptions opts;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = 2;
+  ResilientPcg solver(cluster, p.a, *m, opts);
+  EXPECT_EQ(solver.redundancy().phi(), 2);
+  EXPECT_GE(solver.redundancy_overhead_per_iteration(), 0.0);
+  EXPECT_EQ(solver.options().phi, 2);
+  EXPECT_EQ(solver.matrix().n(), p.a.rows());
+}
+
+TEST(EdgeCases, RecoveryMethodNames) {
+  EXPECT_EQ(to_string(RecoveryMethod::kNone), "none");
+  EXPECT_EQ(to_string(RecoveryMethod::kEsr), "esr");
+  EXPECT_EQ(to_string(RecoveryMethod::kCheckpointRestart), "checkpoint-restart");
+  EXPECT_EQ(to_string(RecoveryMethod::kInterpolationRestart),
+            "interpolation-restart");
+}
+
+}  // namespace
+}  // namespace rpcg

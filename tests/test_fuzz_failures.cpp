@@ -1,0 +1,172 @@
+// Randomized failure-scenario fuzzing: random failed-node sets of size
+// psi <= phi at random iterations (possibly several events per run, possibly
+// overlapping), across random matrices and strategies. Every scenario must
+// recover and converge to the reference solution — the phi-failure guarantee
+// of Sec. 4.1 holds for *arbitrary* failed sets, not just contiguous ranks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/resilient_pcg.hpp"
+#include "sparse/generators.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace rpcg {
+namespace {
+
+using testing::max_diff;
+using testing::random_vector;
+
+class FailureFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureFuzz, RandomScenariosAllRecover) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 13);
+
+  // Random problem.
+  CsrMatrix a;
+  switch (rng.uniform_index(3)) {
+    case 0:
+      a = poisson2d_5pt(11, 11);
+      break;
+    case 1:
+      a = circuit_like(11, 11, 0.05, seed);
+      break;
+    default:
+      a = random_spd(120, 9, 0.6, 16, seed);
+      break;
+  }
+  const int nodes = 4 + static_cast<int>(rng.uniform_index(8));  // 4..11
+  const int phi = 1 + static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(std::min(nodes - 1, 4))));
+  const Partition part = Partition::block_rows(a.rows(), nodes);
+  const BackupStrategy strategy = static_cast<BackupStrategy>(rng.uniform_index(4));
+
+  DistVector b(part);
+  const auto x_ref = random_vector(a.rows(), seed + 5);
+  {
+    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
+    a.spmv(x_ref, bg);
+    b.set_global(bg);
+  }
+  const auto m = make_preconditioner("bjacobi", a, part);
+
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = phi;
+  opts.strategy = strategy;
+  opts.strategy_seed = seed;
+
+  // Reference iteration count for placing events.
+  int ref_iters = 0;
+  {
+    Cluster cluster(part, CommParams{});
+    ResilientPcg solver(cluster, a, *m, opts);
+    DistVector x(part);
+    const auto res = solver.solve(b, x, {});
+    ASSERT_TRUE(res.converged);
+    ref_iters = res.iterations;
+  }
+
+  // Random schedule: 1..3 events at distinct iterations; each event kills a
+  // random set of psi <= phi distinct nodes; ~1/3 of follow-up events at the
+  // same iteration are flagged as overlapping.
+  FailureSchedule schedule;
+  const int num_events = 1 + static_cast<int>(rng.uniform_index(3));
+  std::set<int> used_iterations;
+  int expected_events = 0;
+  for (int e = 0; e < num_events; ++e) {
+    const int at = 1 + static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(std::max(1, ref_iters - 2))));
+    if (used_iterations.count(at) > 0) continue;
+    used_iterations.insert(at);
+    const int psi = 1 + static_cast<int>(
+                            rng.uniform_index(static_cast<std::uint64_t>(phi)));
+    std::set<NodeId> nodes_set;
+    while (static_cast<int>(nodes_set.size()) < psi)
+      nodes_set.insert(static_cast<NodeId>(
+          rng.uniform_index(static_cast<std::uint64_t>(nodes))));
+    FailureEvent ev;
+    ev.iteration = at;
+    ev.nodes.assign(nodes_set.begin(), nodes_set.end());
+    schedule.add(std::move(ev));
+    ++expected_events;
+  }
+
+  Cluster cluster(part, CommParams{});
+  ResilientPcg solver(cluster, a, *m, opts);
+  DistVector x(part);
+  const auto res = solver.solve(b, x, schedule);
+  ASSERT_TRUE(res.converged)
+      << "seed " << seed << " strategy " << to_string(strategy) << " nodes "
+      << nodes << " phi " << phi;
+  EXPECT_EQ(static_cast<int>(res.recoveries.size()), expected_events);
+  EXPECT_LT(max_diff(x.gather_global(), x_ref), 1e-5);
+  // Exact reconstruction keeps the iteration count close to the reference.
+  EXPECT_NEAR(res.iterations, ref_iters, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureFuzz, ::testing::Range(1, 25));
+
+class OverlapFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapFuzz, RandomOverlappingChainsRecover) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 104729 + 7);
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  const int nodes = 8;
+  const int phi = 4;
+  const Partition part = Partition::block_rows(a.rows(), nodes);
+  DistVector b(part);
+  const auto x_ref = random_vector(a.rows(), seed);
+  {
+    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
+    a.spmv(x_ref, bg);
+    b.set_global(bg);
+  }
+  const auto m = make_preconditioner("bjacobi", a, part);
+
+  // A chain of 2-3 overlapping events at one iteration whose union has at
+  // most phi nodes.
+  std::set<NodeId> pool;
+  while (static_cast<int>(pool.size()) < phi)
+    pool.insert(static_cast<NodeId>(rng.uniform_index(nodes)));
+  std::vector<NodeId> nodes_list(pool.begin(), pool.end());
+  const int at = 2 + static_cast<int>(rng.uniform_index(10));
+  FailureSchedule schedule;
+  std::size_t consumed = 0;
+  bool first = true;
+  while (consumed < nodes_list.size()) {
+    const std::size_t take = std::min<std::size_t>(
+        1 + rng.uniform_index(2), nodes_list.size() - consumed);
+    FailureEvent ev;
+    ev.iteration = at;
+    ev.nodes.assign(nodes_list.begin() + static_cast<std::ptrdiff_t>(consumed),
+                    nodes_list.begin() + static_cast<std::ptrdiff_t>(consumed + take));
+    ev.during_recovery = !first;
+    schedule.add(std::move(ev));
+    consumed += take;
+    first = false;
+  }
+
+  ResilientPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.method = RecoveryMethod::kEsr;
+  opts.phi = phi;
+  Cluster cluster(part, CommParams{});
+  ResilientPcg solver(cluster, a, *m, opts);
+  DistVector x(part);
+  const auto res = solver.solve(b, x, schedule);
+  ASSERT_TRUE(res.converged) << "seed " << seed;
+  ASSERT_EQ(res.recoveries.size(), 1u);  // merged into one recovery
+  EXPECT_EQ(res.recoveries[0].nodes.size(), pool.size());
+  EXPECT_LT(max_diff(x.gather_global(), x_ref), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapFuzz, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,125 @@
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/ldlt.hpp"
+
+namespace rpcg {
+namespace {
+
+double avg_row_nnz(const CsrMatrix& a) {
+  return static_cast<double>(a.nnz()) / static_cast<double>(a.rows());
+}
+
+// Every generator must produce a symmetric positive definite matrix — the
+// fundamental requirement of the (P)CG method. Positive definiteness is
+// verified constructively by a successful LDLᵀ factorization.
+void expect_spd(const CsrMatrix& a) {
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  EXPECT_TRUE(SparseLdlt::factor(a).has_value());
+}
+
+TEST(Generators, Poisson2dBasics) {
+  const CsrMatrix a = poisson2d_5pt(9, 7);
+  EXPECT_EQ(a.rows(), 63);
+  expect_spd(a);
+  EXPECT_DOUBLE_EQ(a.value_at(0, 0), 4.0);
+  EXPECT_NEAR(avg_row_nnz(a), 5.0, 0.6);  // boundary rows have fewer
+}
+
+TEST(Generators, Fem2dP1SevenPointPattern) {
+  const CsrMatrix a = fem2d_p1(10, 10);
+  expect_spd(a);
+  // Interior vertex (5,5) couples to 6 neighbours + itself.
+  const Index i = 5 * 10 + 5;
+  EXPECT_EQ(static_cast<int>(a.row_cols(i).size()), 7);
+  EXPECT_NEAR(avg_row_nnz(a), 7.0, 0.8);
+}
+
+TEST(Generators, Poisson3dBasics) {
+  const CsrMatrix a = poisson3d_7pt(5, 6, 7);
+  EXPECT_EQ(a.rows(), 210);
+  expect_spd(a);
+  EXPECT_NEAR(avg_row_nnz(a), 7.0, 1.5);  // boundary rows have fewer
+}
+
+TEST(Generators, CircuitLikeHasLongRangeEdges) {
+  const CsrMatrix a = circuit_like(20, 20, 0.05, 42);
+  expect_spd(a);
+  // Long-range vias exceed the grid bandwidth of a pure 5-point stencil.
+  EXPECT_GT(a.bandwidth(), 20);
+  EXPECT_NEAR(avg_row_nnz(a), 5.0, 1.0);
+}
+
+TEST(Generators, CircuitDeterministicPerSeed) {
+  const CsrMatrix a = circuit_like(15, 15, 0.05, 1);
+  const CsrMatrix b = circuit_like(15, 15, 0.05, 1);
+  const CsrMatrix c = circuit_like(15, 15, 0.05, 2);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_DOUBLE_EQ(a.value_at(0, 1), b.value_at(0, 1));
+  EXPECT_NE(a.value_at(0, 1), c.value_at(0, 1));
+}
+
+TEST(Generators, RandomSpdTargetDegree) {
+  const CsrMatrix a = random_spd(800, 16, 0.7, 40, 7);
+  expect_spd(a);
+  EXPECT_NEAR(avg_row_nnz(a), 16.0, 3.0);
+}
+
+TEST(Generators, ElasticityBlockStructure) {
+  const CsrMatrix a = elasticity3d(5, 5, 5, Stencil3d::kFacesCorners14, 0.0, 1);
+  EXPECT_EQ(a.rows(), 3 * 125);
+  expect_spd(a);
+  // Interior vertex: 14 neighbours + self, 3x3 dense blocks -> 45 per row.
+  const Index center = ((2 * 5 + 2) * 5 + 2);
+  EXPECT_EQ(static_cast<int>(a.row_cols(3 * center).size()), 45);
+}
+
+TEST(Generators, ElasticityStencilSizes) {
+  const Index c = 3 * ((2 * 5 + 2) * 5 + 2);
+  EXPECT_EQ(static_cast<int>(
+                elasticity3d(5, 5, 5, Stencil3d::kFaces6, 0.0, 1).row_cols(c).size()),
+            21);
+  EXPECT_EQ(static_cast<int>(elasticity3d(5, 5, 5, Stencil3d::kFacesEdges18, 0.0, 1)
+                                 .row_cols(c)
+                                 .size()),
+            57);
+  EXPECT_EQ(static_cast<int>(
+                elasticity3d(5, 5, 5, Stencil3d::kFull26, 0.0, 1).row_cols(c).size()),
+            81);
+}
+
+TEST(Generators, ElasticityDropReducesDensity) {
+  const CsrMatrix full = elasticity3d(6, 6, 6, Stencil3d::kFacesEdges18, 0.0, 3);
+  const CsrMatrix dropped = elasticity3d(6, 6, 6, Stencil3d::kFacesEdges18, 0.3, 3);
+  expect_spd(dropped);
+  EXPECT_LT(dropped.nnz(), full.nnz());
+  EXPECT_NEAR(static_cast<double>(dropped.nnz()) / static_cast<double>(full.nnz()),
+              0.72, 0.12);  // ~30 % of neighbour couplings removed
+}
+
+TEST(Generators, BandedSpdRespectsBandwidth) {
+  const CsrMatrix a = banded_spd(200, 9, 0.5, 5);
+  expect_spd(a);
+  EXPECT_LE(a.bandwidth(), 9);
+  const CsrMatrix dense_band = banded_spd(100, 5, 1.0, 5);
+  EXPECT_EQ(dense_band.bandwidth(), 5);
+}
+
+TEST(Generators, TridiagSpd) {
+  const CsrMatrix a = tridiag_spd(50);
+  expect_spd(a);
+  EXPECT_EQ(a.bandwidth(), 1);
+  EXPECT_EQ(a.nnz(), 50 + 2 * 49);
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)poisson2d_5pt(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)random_spd(2, 16, 0.5, 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)elasticity3d(4, 4, 4, Stencil3d::kFull26, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)banded_spd(10, 0, 0.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,96 @@
+#include "repro/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+
+namespace rpcg::repro {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.reps = 2;
+  cfg.noise_cv = 0.01;
+  cfg.rtol = 1e-8;
+  return cfg;
+}
+
+TEST(Harness, ReferenceRunConvergesAndCachesIterations) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  ExperimentRunner runner(a, small_config());
+  const int iters = runner.reference_iterations();
+  EXPECT_GT(iters, 3);
+  EXPECT_EQ(runner.reference_iterations(), iters);  // cached
+  const auto res = runner.run_reference(1);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.sim_time, 0.0);
+}
+
+TEST(Harness, FailureIterationFollowsProgressProtocol) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  ExperimentRunner runner(a, small_config());
+  const int ref = runner.reference_iterations();
+  EXPECT_EQ(runner.failure_iteration(0.5), std::max(1, ref / 2));
+  EXPECT_LT(runner.failure_iteration(0.2), runner.failure_iteration(0.8));
+  EXPECT_THROW((void)runner.failure_iteration(0.0), std::invalid_argument);
+  EXPECT_THROW((void)runner.failure_iteration(1.0), std::invalid_argument);
+}
+
+TEST(Harness, UndisturbedOverheadIsPositiveAndGrowsWithPhi) {
+  const CsrMatrix a = circuit_like(12, 12, 0.05, 3);
+  ExperimentConfig cfg = small_config();
+  cfg.noise_cv = 0.0;  // deterministic comparison
+  ExperimentRunner runner(a, cfg);
+  const auto ref = runner.run_reference(1);
+  const auto u1 = runner.run_undisturbed(1, 1);
+  const auto u3 = runner.run_undisturbed(3, 1);
+  EXPECT_EQ(ref.iterations, u1.iterations);
+  EXPECT_GT(u1.sim_time, ref.sim_time);
+  EXPECT_GT(u3.sim_time, u1.sim_time);
+  EXPECT_GT(overhead_pct(u3.sim_time, ref.sim_time),
+            overhead_pct(u1.sim_time, ref.sim_time));
+}
+
+TEST(Harness, FailureRunsAtBothLocations) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  ExperimentConfig cfg = small_config();
+  ExperimentRunner runner(a, cfg);
+  for (const auto loc : {FailureLocation::kStart, FailureLocation::kCenter}) {
+    const auto res = runner.run_with_failures(2, 2, loc, 0.5, 3);
+    EXPECT_TRUE(res.converged) << to_string(loc);
+    ASSERT_EQ(res.recoveries.size(), 1u);
+    EXPECT_EQ(res.recoveries[0].nodes[0], runner.first_rank(loc));
+  }
+  EXPECT_EQ(runner.first_rank(FailureLocation::kStart), 0);
+  EXPECT_EQ(runner.first_rank(FailureLocation::kCenter), 4);
+}
+
+TEST(Harness, BaselineRunsWork) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  ExperimentRunner runner(a, small_config());
+  const auto cr = runner.run_baseline(RecoveryMethod::kCheckpointRestart, 2,
+                                      FailureLocation::kStart, 0.5, 10, 1);
+  EXPECT_TRUE(cr.converged);
+  EXPECT_GT(cr.checkpoints_written, 0);
+  const auto li = runner.run_baseline(RecoveryMethod::kInterpolationRestart, 2,
+                                      FailureLocation::kCenter, 0.5, 10, 1);
+  EXPECT_TRUE(li.converged);
+  EXPECT_EQ(li.recoveries.size(), 1u);
+}
+
+TEST(Harness, OverheadPctValidation) {
+  EXPECT_DOUBLE_EQ(overhead_pct(1.1, 1.0), 10.000000000000009);
+  EXPECT_THROW((void)overhead_pct(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Harness, PsiMustNotExceedPhi) {
+  const CsrMatrix a = poisson2d_5pt(10, 10);
+  ExperimentRunner runner(a, small_config());
+  EXPECT_THROW(
+      (void)runner.run_with_failures(1, 2, FailureLocation::kStart, 0.5, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg::repro

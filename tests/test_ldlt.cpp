@@ -1,0 +1,76 @@
+#include "sparse/ldlt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "test_util.hpp"
+
+namespace rpcg {
+namespace {
+
+using testing::dense_random_spd;
+using testing::max_diff;
+using testing::random_vector;
+
+void expect_solves(const CsrMatrix& a, double tol) {
+  const auto fact = SparseLdlt::factor(a);
+  ASSERT_TRUE(fact.has_value());
+  const auto x_ref = random_vector(a.rows(), 11);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  a.spmv(x_ref, b);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()));
+  fact->solve(b, x);
+  EXPECT_LT(max_diff(x, x_ref), tol);
+}
+
+TEST(Ldlt, SolvesDenseRandomSpd) { expect_solves(dense_random_spd(30, 2), 1e-10); }
+
+TEST(Ldlt, SolvesPoisson2d) { expect_solves(poisson2d_5pt(12, 11), 1e-9); }
+
+TEST(Ldlt, SolvesElasticityBlockMatrix) {
+  expect_solves(elasticity3d(4, 4, 4, Stencil3d::kFacesCorners14, 0.0, 1), 1e-8);
+}
+
+TEST(Ldlt, SolvesCircuitLike) { expect_solves(circuit_like(12, 12, 0.05, 3), 1e-8); }
+
+TEST(Ldlt, RejectsIndefinite) {
+  TripletBuilder b;
+  b.add(0, 0, 1.0);
+  b.add_sym(0, 1, 3.0);
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(SparseLdlt::factor(b.build(2, 2)).has_value());
+}
+
+TEST(Ldlt, TridiagFactorHasNoFill) {
+  const CsrMatrix a = tridiag_spd(100);
+  const auto fact = SparseLdlt::factor(a);
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_EQ(fact->l_nnz(), 99);  // exactly the subdiagonal, no fill-in
+  EXPECT_GT(fact->factor_flops(), 0.0);
+}
+
+TEST(Ldlt, SolveInPlaceMatchesOutOfPlace) {
+  const CsrMatrix a = dense_random_spd(15, 8);
+  const auto fact = SparseLdlt::factor(a);
+  ASSERT_TRUE(fact.has_value());
+  const auto b = random_vector(15, 3);
+  std::vector<double> x1(b.size());
+  fact->solve(b, x1);
+  std::vector<double> x2 = b;
+  fact->solve_in_place(x2);
+  EXPECT_LT(max_diff(x1, x2), 1e-15);
+}
+
+TEST(Ldlt, IdentityIsItsOwnFactor) {
+  const auto fact = SparseLdlt::factor(CsrMatrix::identity(7));
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_EQ(fact->l_nnz(), 0);
+  std::vector<double> b{1, 2, 3, 4, 5, 6, 7};
+  const auto expect = b;
+  fact->solve_in_place(b);
+  EXPECT_LT(max_diff(b, expect), 1e-15);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,52 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rpcg {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsForm) {
+  const Options o = parse({"--nodes=128", "--rtol=1e-8"});
+  EXPECT_EQ(o.get_int("nodes", 0), 128);
+  EXPECT_DOUBLE_EQ(o.get_double("rtol", 0.0), 1e-8);
+}
+
+TEST(Options, SpaceForm) {
+  const Options o = parse({"--name", "hello", "--count", "7"});
+  EXPECT_EQ(o.get_string("name", ""), "hello");
+  EXPECT_EQ(o.get_int("count", 0), 7);
+}
+
+TEST(Options, BareBooleanFlag) {
+  const Options o = parse({"--verbose", "--x=1"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("quiet", false));
+}
+
+TEST(Options, Fallbacks) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("missing", 42), 42);
+  EXPECT_EQ(o.get_string("missing", "d"), "d");
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, IntList) {
+  const Options o = parse({"--phis=1,3,8"});
+  EXPECT_EQ(o.get_int_list("phis", {}), (std::vector<long>{1, 3, 8}));
+  EXPECT_EQ(o.get_int_list("other", {2}), (std::vector<long>{2}));
+}
+
+TEST(Options, MalformedThrows) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg

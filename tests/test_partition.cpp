@@ -1,0 +1,63 @@
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpcg {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  const Partition p = Partition::block_rows(100, 4);
+  EXPECT_EQ(p.num_nodes(), 4);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(p.size(i), 25);
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(3), 100);
+  EXPECT_EQ(p.max_block_size(), 25);
+}
+
+TEST(Partition, RemainderGoesToFirstNodes) {
+  // n = 10, N = 4: sizes 3,3,2,2 (first n mod N nodes get ceil(n/N)).
+  const Partition p = Partition::block_rows(10, 4);
+  EXPECT_EQ(p.size(0), 3);
+  EXPECT_EQ(p.size(1), 3);
+  EXPECT_EQ(p.size(2), 2);
+  EXPECT_EQ(p.size(3), 2);
+  EXPECT_EQ(p.max_block_size(), 3);
+}
+
+TEST(Partition, OwnerIsConsistentWithRanges) {
+  const Partition p = Partition::block_rows(1003, 7);
+  for (Index row = 0; row < 1003; ++row) {
+    const NodeId o = p.owner(row);
+    EXPECT_GE(row, p.begin(o));
+    EXPECT_LT(row, p.end(o));
+  }
+}
+
+TEST(Partition, RowsOf) {
+  const Partition p = Partition::block_rows(10, 4);
+  const auto rows = p.rows_of(1);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 3);
+  EXPECT_EQ(rows[2], 5);
+}
+
+TEST(Partition, RowsOfSetSortsNodes) {
+  const Partition p = Partition::block_rows(12, 4);
+  const std::vector<NodeId> nodes{2, 0};  // unsorted on purpose
+  const auto rows = p.rows_of_set(nodes);
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0], 0);   // node 0 block first
+  EXPECT_EQ(rows[3], 6);   // then node 2 block
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST(Partition, Validation) {
+  EXPECT_THROW((void)Partition::block_rows(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)Partition::block_rows(3, 4), std::invalid_argument);
+  const Partition p = Partition::block_rows(10, 2);
+  EXPECT_THROW((void)p.owner(10), std::invalid_argument);
+  EXPECT_THROW((void)p.owner(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,75 @@
+#include "sparse/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rpcg {
+namespace {
+
+bool is_permutation(const std::vector<Index>& perm, Index n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  if (static_cast<Index>(perm.size()) != n) return false;
+  for (const Index p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  const CsrMatrix a = poisson2d_5pt(8, 8);
+  const auto perm = rcm_ordering(a);
+  EXPECT_TRUE(is_permutation(perm, a.rows()));
+}
+
+TEST(Rcm, RecoversBandFromShuffledBandedMatrix) {
+  // Start from a banded matrix, destroy the band with a random symmetric
+  // permutation, and check RCM brings the bandwidth back down.
+  const CsrMatrix banded = banded_spd(300, 4, 1.0, 3);
+  Rng rng(17);
+  std::vector<Index> shuffle(static_cast<std::size_t>(banded.rows()));
+  for (Index i = 0; i < banded.rows(); ++i) shuffle[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = shuffle.size() - 1; i > 0; --i)
+    std::swap(shuffle[i], shuffle[rng.uniform_index(i + 1)]);
+  const CsrMatrix scrambled = banded.permuted_symmetric(shuffle);
+  ASSERT_GT(scrambled.bandwidth(), 50);
+
+  const auto perm = rcm_ordering(scrambled);
+  const CsrMatrix restored = scrambled.permuted_symmetric(perm);
+  EXPECT_LE(restored.bandwidth(), 3 * banded.bandwidth());
+}
+
+TEST(Rcm, ReducesPoissonBandwidthVsShuffled) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  const auto perm = rcm_ordering(a);
+  const CsrMatrix reordered = a.permuted_symmetric(perm);
+  EXPECT_LE(reordered.bandwidth(), 2 * a.bandwidth());
+}
+
+TEST(Rcm, HandlesDisconnectedGraph) {
+  // Two disjoint tridiagonal blocks.
+  TripletBuilder b;
+  for (Index i = 0; i < 5; ++i) b.add(i, i, 2.0);
+  for (Index i = 0; i < 4; ++i) b.add_sym(i, i + 1, -1.0);
+  for (Index i = 5; i < 10; ++i) b.add(i, i, 2.0);
+  for (Index i = 5; i < 9; ++i) b.add_sym(i, i + 1, -1.0);
+  const CsrMatrix a = b.build(10, 10);
+  const auto perm = rcm_ordering(a);
+  EXPECT_TRUE(is_permutation(perm, 10));
+}
+
+TEST(Rcm, SingletonAndEmptyRows) {
+  TripletBuilder b;
+  b.add(0, 0, 1.0);
+  b.add(2, 2, 1.0);  // row 1 is empty
+  const CsrMatrix a = b.build(3, 3);
+  EXPECT_TRUE(is_permutation(rcm_ordering(a), 3));
+}
+
+}  // namespace
+}  // namespace rpcg

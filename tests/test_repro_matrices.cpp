@@ -1,0 +1,78 @@
+#include "repro/matrices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/ldlt.hpp"
+
+namespace rpcg::repro {
+namespace {
+
+// Small scale for test speed; the structural properties under test are
+// scale-invariant.
+constexpr double kScale = 256.0;
+
+TEST(ReproMatrices, AllEightBuildAndAreSymmetric) {
+  const auto all = make_all_matrices(kScale);
+  ASSERT_EQ(all.size(), 8u);
+  for (const auto& m : all) {
+    EXPECT_TRUE(m.matrix.is_symmetric(1e-10)) << m.id;
+    EXPECT_GT(m.matrix.rows(), 0) << m.id;
+    EXPECT_FALSE(m.paper_name.empty());
+  }
+}
+
+TEST(ReproMatrices, PositiveDefiniteAtSmallScale) {
+  for (int i = 1; i <= 8; ++i) {
+    const auto m = make_matrix(i, 1024.0);
+    EXPECT_TRUE(SparseLdlt::factor(m.matrix).has_value()) << m.id;
+  }
+}
+
+TEST(ReproMatrices, NnzOrderingMatchesTable1) {
+  // Table 1 orders M1..M8 by increasing number of nonzeros; the analogues
+  // must preserve that ordering.
+  const auto all = make_all_matrices(kScale);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_GT(all[i].matrix.nnz(), all[i - 1].matrix.nnz())
+        << all[i].id << " vs " << all[i - 1].id;
+}
+
+TEST(ReproMatrices, AverageRowDensityTracksPaper) {
+  // Expected avg nnz/row of the originals: M1 7.0, M2 16.3, M3 4.8, M4 7.0,
+  // M5 43.7, M6 41.9, M7 46.1, M8 82.3. The analogues must land close
+  // (boundary effects shrink the average at small scale).
+  const double expect[8] = {7.0, 16.3, 4.8, 7.0, 43.7, 41.9, 46.1, 82.3};
+  const auto all = make_all_matrices(kScale);
+  for (int i = 0; i < 8; ++i) {
+    const double avg = static_cast<double>(all[static_cast<std::size_t>(i)].matrix.nnz()) /
+                       static_cast<double>(all[static_cast<std::size_t>(i)].matrix.rows());
+    EXPECT_GT(avg, 0.55 * expect[i]) << all[static_cast<std::size_t>(i)].id;
+    EXPECT_LT(avg, 1.35 * expect[i]) << all[static_cast<std::size_t>(i)].id;
+  }
+}
+
+TEST(ReproMatrices, SizeScalesWithScaleParameter) {
+  const auto big = make_matrix(1, 64.0);
+  const auto small = make_matrix(1, 256.0);
+  EXPECT_GT(big.matrix.rows(), 2 * small.matrix.rows());
+  // Paper metadata is scale-independent.
+  EXPECT_EQ(big.paper_n, small.paper_n);
+  EXPECT_EQ(big.paper_n, 525825);
+}
+
+TEST(ReproMatrices, ElasticityAnaloguesHave3DofBlocks) {
+  for (int i = 5; i <= 8; ++i) {
+    const auto m = make_matrix(i, kScale);
+    EXPECT_EQ(m.matrix.rows() % 3, 0) << m.id;
+    EXPECT_EQ(m.problem_type, "Structural");
+  }
+}
+
+TEST(ReproMatrices, InvalidIndexThrows) {
+  EXPECT_THROW((void)make_matrix(0), std::invalid_argument);
+  EXPECT_THROW((void)make_matrix(9), std::invalid_argument);
+  EXPECT_THROW((void)make_matrix(1, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg::repro

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpcg {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(321);
+  bool any_differ = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(13), 13u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalUnitMean) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_unit_mean(0.05);
+  EXPECT_NEAR(sum / n, 1.0, 0.005);
+  // cv = 0 must be exactly 1 (noise disabled).
+  EXPECT_DOUBLE_EQ(rng.lognormal_unit_mean(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,85 @@
+#include "solver/seq_pcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/ldlt.hpp"
+#include "test_util.hpp"
+
+namespace rpcg {
+namespace {
+
+using testing::max_diff;
+using testing::random_vector;
+
+TEST(SeqPcg, MatchesDirectSolve) {
+  const CsrMatrix a = poisson2d_5pt(15, 14);
+  const auto x_ref = random_vector(a.rows(), 1);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  a.spmv(x_ref, b);
+
+  std::vector<double> x(b.size(), 0.0);
+  SeqPcgOptions opts;
+  opts.rtol = 1e-13;
+  const auto ic = Ic0::factor(a);
+  const SeqPcgResult res = seq_pcg_solve(a, b, x, opts, &*ic);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.rel_residual, 1e-13);
+  EXPECT_LT(max_diff(x, x_ref), 1e-9);
+  EXPECT_GT(res.flops, 0.0);
+}
+
+TEST(SeqPcg, PreconditioningReducesIterations) {
+  const CsrMatrix a = poisson2d_5pt(20, 20);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  SeqPcgOptions opts;
+  opts.rtol = 1e-10;
+
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const SeqPcgResult plain = seq_pcg_solve(a, b, x1, opts, nullptr);
+  const auto ic = Ic0::factor(a);
+  const SeqPcgResult prec = seq_pcg_solve(a, b, x2, opts, &*ic);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+}
+
+TEST(SeqPcg, ZeroRhsConvergesImmediately) {
+  const CsrMatrix a = tridiag_spd(10);
+  std::vector<double> b(10, 0.0), x(10, 0.0);
+  const SeqPcgResult res = seq_pcg_solve(a, b, x, SeqPcgOptions{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(SeqPcg, WarmStartConvergesFaster) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  const auto x_ref = random_vector(a.rows(), 4);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  a.spmv(x_ref, b);
+  SeqPcgOptions opts;
+  opts.rtol = 1e-12;
+
+  std::vector<double> cold(b.size(), 0.0);
+  const auto cold_res = seq_pcg_solve(a, b, cold, opts);
+  std::vector<double> warm = x_ref;
+  for (auto& v : warm) v += 1e-6;
+  const auto warm_res = seq_pcg_solve(a, b, warm, opts);
+  EXPECT_TRUE(warm_res.converged);
+  EXPECT_LT(warm_res.iterations, cold_res.iterations);
+}
+
+TEST(SeqPcg, MaxIterationsRespected) {
+  const CsrMatrix a = poisson2d_5pt(30, 30);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  SeqPcgOptions opts;
+  opts.rtol = 1e-15;
+  opts.max_iterations = 3;
+  const SeqPcgResult res = seq_pcg_solve(a, b, x, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rpcg {
+namespace {
+
+TEST(Stats, SingleValue) {
+  const std::vector<double> s{3.0};
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.count, 1u);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(sum.median, 3.0);
+  EXPECT_DOUBLE_EQ(sum.min, 3.0);
+  EXPECT_DOUBLE_EQ(sum.max, 3.0);
+}
+
+TEST(Stats, KnownQuartiles) {
+  // 1..5: q1 = 2, median = 3, q3 = 4 with linear interpolation.
+  const std::vector<double> s{5.0, 1.0, 4.0, 2.0, 3.0};
+  const Summary sum = summarize(s);
+  EXPECT_DOUBLE_EQ(sum.q1, 2.0);
+  EXPECT_DOUBLE_EQ(sum.median, 3.0);
+  EXPECT_DOUBLE_EQ(sum.q3, 4.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+}
+
+TEST(Stats, SampleStddev) {
+  const std::vector<double> s{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary sum = summarize(s);
+  EXPECT_NEAR(sum.mean, 5.0, 1e-12);
+  EXPECT_NEAR(sum.stddev * sum.stddev, 32.0 / 7.0, 1e-12);  // n-1 denominator
+}
+
+TEST(Stats, WhiskersExcludeOutliers) {
+  // One far outlier: whisker_hi must stop at the largest non-outlier.
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0, 100.0};
+  const Summary sum = summarize(s);
+  EXPECT_LT(sum.whisker_hi, 100.0);
+  EXPECT_DOUBLE_EQ(sum.whisker_lo, 1.0);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> s;
+  EXPECT_THROW((void)summarize(s), std::invalid_argument);
+}
+
+TEST(Stats, MeanPmStdFormat) {
+  const std::vector<double> s{1.0, 3.0};
+  EXPECT_EQ(mean_pm_std(summarize(s), 1), "2.0 ± 1.4");
+}
+
+}  // namespace
+}  // namespace rpcg

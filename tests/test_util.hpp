@@ -1,0 +1,49 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace rpcg::testing {
+
+/// Dense random SPD matrix in CSR form: R Rᵀ + n I with R random — always
+/// strictly positive definite (for factorization reference tests).
+inline CsrMatrix dense_random_spd(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> r(static_cast<std::size_t>(n * n));
+  for (auto& v : r) v = rng.uniform(-1.0, 1.0);
+  TripletBuilder b;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      double s = i == j ? static_cast<double>(n) : 0.0;
+      for (Index k = 0; k < n; ++k)
+        s += r[static_cast<std::size_t>(i * n + k)] *
+             r[static_cast<std::size_t>(j * n + k)];
+      b.add(i, j, s);
+    }
+  }
+  return b.build(n, n);
+}
+
+/// Random vector with entries in [-1, 1).
+inline std::vector<double> random_vector(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Max-norm distance between two vectors.
+inline double max_diff(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  return mx;
+}
+
+}  // namespace rpcg::testing
