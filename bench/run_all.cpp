@@ -1,0 +1,210 @@
+// Driver that executes the table/fig/ablation bench executables and emits a
+// machine-readable JSON perf report, so per-PR perf trajectories can be
+// accumulated from one command:
+//
+//   ./run_all [--out report.json] [--bin-dir DIR] [--only table1_matrices,...]
+//             [--scale S] [--nodes N] [--reps R] [--keep-output]
+//
+// Each bench runs as a child process with the shared --scale/--nodes/--reps
+// flags (see bench_common.hpp); the report records the command line, exit
+// code, and wall-clock seconds per bench. Output of the children is
+// suppressed unless --keep-output is given.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/options.hpp"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+// Comma-separated default bench list, injected at configure time from the
+// RPCG_BENCHES target list in bench/CMakeLists.txt (single source of truth).
+#ifndef RPCG_BENCH_LIST
+#define RPCG_BENCH_LIST ""
+#endif
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct BenchResult {
+  std::string name;
+  std::string command;
+  int exit_code = -1;
+  double wall_seconds = 0.0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Forwarded flag values are pasted into a shell command line; restrict them
+// to the numeric-list shapes the benches accept rather than escaping shell
+// metacharacters.
+bool safe_flag_value(const std::string& s) {
+  for (const char c : s)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == ',' || c == '-' || c == '_'))
+      return false;
+  return !s.empty();
+}
+
+int run_command(const std::string& cmd) {
+  const int raw = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+  return -1;
+#else
+  return raw;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const rpcg::Options opts(argc, argv);
+
+  const std::string default_bin_dir =
+      std::filesystem::path(argv[0]).parent_path().string();
+  const std::string bin_dir =
+      opts.get_string("bin-dir", default_bin_dir.empty() ? "." : default_bin_dir);
+  const std::string out_path = opts.get_string("out", "bench_report.json");
+  const bool keep_output = opts.get_bool("keep-output", false);
+  const double scale = opts.get_double("scale", 32.0);
+  const long nodes = opts.get_int("nodes", 64);
+  const long reps = opts.get_int("reps", 1);
+  // The remaining shared bench flags (see bench_common.hpp) are forwarded
+  // verbatim when given, so the recorded commands match the request.
+  std::string passthrough;
+  for (const char* flag : {"noise", "matrices"}) {
+    if (!opts.has(flag)) continue;
+    const std::string value = opts.get_string(flag, "");
+    if (!safe_flag_value(value)) {
+      std::fprintf(stderr, "run_all: invalid --%s value '%s'\n", flag,
+                   value.c_str());
+      return 1;
+    }
+    passthrough += std::string(" --") + flag + "=" + value;
+  }
+
+  const std::string only = opts.get_string("only", "");
+  const std::vector<std::string> selected =
+      split_names(only.empty() ? RPCG_BENCH_LIST : only);
+  if (selected.empty()) {
+    std::fprintf(stderr, "run_all: no benches selected\n");
+    return 1;
+  }
+
+  // Opened before the suite runs so an unwritable path fails fast instead of
+  // discarding minutes of bench results at the end.
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "run_all: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+
+  std::vector<BenchResult> results;
+  int failures = 0;
+  const auto suite_start = Clock::now();
+  for (const std::string& name : selected) {
+#ifdef _WIN32
+    const std::string exe_name = name + ".exe";
+#else
+    const std::string& exe_name = name;
+#endif
+    const std::string exe =
+        (std::filesystem::path(bin_dir) / exe_name).string();
+    BenchResult r;
+    r.name = name;
+    // Quoted so bin dirs containing spaces survive the shell's word split.
+    r.command = "\"" + exe + "\" --scale=" + std::to_string(scale) +
+                " --nodes=" + std::to_string(nodes) +
+                " --reps=" + std::to_string(reps) + passthrough;
+    if (!std::filesystem::exists(exe)) {
+      std::fprintf(stderr,
+                   "run_all: %s FAILED (binary not found at %s — typo in "
+                   "--only, or target missing from bench/CMakeLists.txt?)\n",
+                   name.c_str(), exe.c_str());
+      r.exit_code = 127;
+      ++failures;
+      results.push_back(std::move(r));
+      continue;
+    }
+#ifdef _WIN32
+    const char* null_device = "NUL";
+#else
+    const char* null_device = "/dev/null";
+#endif
+    const std::string cmd =
+        keep_output ? r.command
+                    : r.command + " > " + null_device + " 2>&1";
+    std::fprintf(stderr, "run_all: %s ...", name.c_str());
+    std::fflush(stderr);
+    const auto start = Clock::now();
+    r.exit_code = run_command(cmd);
+    r.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    std::fprintf(stderr, " %s (%.2fs)\n", r.exit_code == 0 ? "ok" : "FAILED",
+                 r.wall_seconds);
+    if (r.exit_code != 0) ++failures;
+    results.push_back(std::move(r));
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(Clock::now() - suite_start).count();
+
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"rpcg-bench-report/v1\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"nodes\": %ld,\n", nodes);
+  std::fprintf(f, "  \"reps\": %ld,\n", reps);
+  std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_seconds);
+  std::fprintf(f, "  \"failures\": %d,\n", failures);
+  std::fprintf(f, "  \"benches\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"command\": \"%s\", "
+                 "\"exit_code\": %d, \"wall_seconds\": %.6f}%s\n",
+                 json_escape(r.name).c_str(), json_escape(r.command).c_str(),
+                 r.exit_code, r.wall_seconds,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr, "run_all: %zu benches, %d failure(s), %.2fs; report: %s\n",
+               results.size(), failures, total_seconds, out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

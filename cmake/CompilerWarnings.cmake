@@ -1,0 +1,19 @@
+# Defines rpcg::warnings, an interface target that pins the project-wide
+# strict warning set. Link it PRIVATE into every in-repo target; it
+# intentionally does not propagate to consumers. (The language standard is
+# pinned once, globally, in the root CMakeLists.)
+
+add_library(rpcg_warnings INTERFACE)
+add_library(rpcg::warnings ALIAS rpcg_warnings)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(rpcg_warnings INTERFACE -Wall -Wextra)
+  if(RPCG_WERROR)
+    target_compile_options(rpcg_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(rpcg_warnings INTERFACE /W4)
+  if(RPCG_WERROR)
+    target_compile_options(rpcg_warnings INTERFACE /WX)
+  endif()
+endif()

@@ -1,0 +1,32 @@
+# Translates the RPCG_SANITIZE cache variable ("address;undefined", comma
+# also accepted) into global -fsanitize compile and link flags. Applied
+# globally rather than per-target so the library, tests, examples, and
+# benches all agree on the instrumented ABI.
+
+if(NOT RPCG_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _rpcg_sanitizers "${RPCG_SANITIZE}")
+
+set(_rpcg_known address undefined thread leak memory)
+foreach(_san IN LISTS _rpcg_sanitizers)
+  if(NOT _san IN_LIST _rpcg_known)
+    message(FATAL_ERROR "Unknown sanitizer '${_san}' in RPCG_SANITIZE; known: ${_rpcg_known}")
+  endif()
+endforeach()
+
+if("thread" IN_LIST _rpcg_sanitizers AND "address" IN_LIST _rpcg_sanitizers)
+  message(FATAL_ERROR "RPCG_SANITIZE: thread and address sanitizers are mutually exclusive")
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(WARNING "RPCG_SANITIZE is only supported with GCC/Clang; ignoring '${RPCG_SANITIZE}'")
+  return()
+endif()
+
+string(JOIN "," _rpcg_fsanitize ${_rpcg_sanitizers})
+message(STATUS "Sanitizers enabled: -fsanitize=${_rpcg_fsanitize}")
+
+add_compile_options(-fsanitize=${_rpcg_fsanitize} -fno-omit-frame-pointer)
+add_link_options(-fsanitize=${_rpcg_fsanitize})

@@ -1,6 +1,7 @@
 #include "repro/matrices.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "sparse/generators.hpp"
 #include "util/check.hpp"
@@ -21,7 +22,11 @@ ReproMatrix make_matrix(int index, double scale) {
   RPCG_CHECK(index >= 1 && index <= 8, "matrix index must be in 1..8");
   RPCG_CHECK(scale >= 1.0, "scale must be >= 1");
   ReproMatrix m;
-  m.id = "M" + std::to_string(index);
+  // Formatted without std::string concatenation: "M" + std::to_string(...)
+  // trips GCC 12's -Wrestrict false positive at -O2 (GCC PR105329).
+  char id_buf[16];
+  std::snprintf(id_buf, sizeof id_buf, "M%d", index);
+  m.id = id_buf;
   switch (index) {
     case 1: {  // parabolic_fem: 2-D FEM, ~7 nnz/row
       m.paper_name = "parabolic_fem";
