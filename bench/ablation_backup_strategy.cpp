@@ -4,7 +4,7 @@
 // extra elements, extra latency messages, and per-iteration model overhead.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 #include "core/redundancy.hpp"
 #include "sim/dist_matrix.hpp"
 

@@ -6,7 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;
@@ -30,21 +30,16 @@ int main(int argc, char** argv) {
     cfg.local_rtol = rtol > 0.0 ? rtol : 1e-14;
     repro::ExperimentRunner runner(mat.matrix, cfg);
     // rtol == 0 marks the exact (direct LDLt) solve.
-    ResilientPcgResult res;
+    engine::SolveReport res;
     if (rtol == 0.0) {
-      FailureSchedule schedule = FailureSchedule::contiguous(
-          runner.failure_iteration(0.5), runner.first_rank(repro::FailureLocation::kCenter), phi);
-      Cluster cluster(runner.partition(), CommParams{});
-      cluster.clock().set_noise(cfg.noise_cv, 7);
-      ResilientPcgOptions opts;
-      opts.pcg.rtol = cfg.rtol;
-      opts.method = RecoveryMethod::kEsr;
-      opts.phi = phi;
-      opts.esr.exact_local_solve = true;
-      ResilientPcg solver(cluster, runner.matrix_global(), runner.matrix(),
-                          runner.preconditioner(), opts);
-      DistVector x(runner.partition());
-      res = solver.solve(runner.rhs(), x, schedule);
+      const FailureSchedule schedule = FailureSchedule::contiguous(
+          runner.failure_iteration(0.5),
+          runner.first_rank(repro::FailureLocation::kCenter), phi);
+      engine::SolverConfig c = runner.base_config();
+      c.recovery = RecoveryMethod::kEsr;
+      c.phi = phi;
+      c.esr.exact_local_solve = true;
+      res = runner.run_solver("resilient-pcg", c, schedule, 7);
     } else {
       res = runner.run_with_failures(phi, phi, repro::FailureLocation::kCenter,
                                      0.5, 7);

@@ -5,7 +5,7 @@
 // its phi designated backups during SpMV and the extra traffic vanishes.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 #include "core/redundancy.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sparse/generators.hpp"

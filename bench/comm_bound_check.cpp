@@ -4,7 +4,7 @@
 // phi = 1..8 and reports it against the analytic upper bound.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 #include "core/redundancy.hpp"
 #include "sim/dist_matrix.hpp"
 

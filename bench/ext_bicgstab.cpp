@@ -5,8 +5,7 @@
 // sets of redundant copies per iteration (of p̂ and ŝ).
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "core/resilient_bicgstab.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;
@@ -27,29 +26,25 @@ int main(int argc, char** argv) {
   print_header(title, args);
 
   const auto bicg_run = [&](int phi, bool with_failures) {
-    Cluster cluster(runner.partition(), CommParams{});
-    cluster.clock().set_noise(args.noise, 17);
-    BicgstabOptions bopts;
-    bopts.rtol = runner.config().rtol;
-    bopts.phi = phi;
-    ResilientBicgstab solver(cluster, runner.matrix_global(), runner.matrix(),
-                             runner.preconditioner(), bopts);
-    DistVector x(runner.partition());
+    engine::SolverConfig c = runner.base_config();
+    c.phi = phi;
     FailureSchedule schedule;
     if (with_failures && phi > 0) {
-      // Reference iteration count of plain BiCGSTAB for placement.
-      Cluster rc(runner.partition(), CommParams{});
-      BicgstabOptions ropts = bopts;
+      // Reference iteration count of plain BiCGSTAB for placement
+      // (noise-free, like the PCG placement run).
+      auto& problem = runner.problem();
+      problem.set_noise(0.0, 0);
+      engine::SolverConfig ropts = c;
       ropts.phi = 0;
-      ResilientBicgstab ref(rc, runner.matrix_global(), runner.matrix(),
-                            runner.preconditioner(), ropts);
-      DistVector x0(runner.partition());
-      const auto rres = ref.solve(runner.rhs(), x0, {});
+      const auto ref = engine::SolverRegistry::instance().create(
+          "resilient-bicgstab", ropts);
+      DistVector x0 = problem.make_x();
+      const auto rres = ref->solve(problem, x0, {});
       schedule = FailureSchedule::contiguous(
           std::max(1, rres.iterations / 2),
           runner.first_rank(repro::FailureLocation::kCenter), phi);
     }
-    return solver.solve(runner.rhs(), x, schedule);
+    return runner.run_solver("resilient-bicgstab", c, schedule, 17);
   };
 
   const auto ref = bicg_run(0, false);

@@ -1,9 +1,11 @@
 // Extension bench (paper Sec. 1: the ESR modifications also apply to the
 // Jacobi, Gauss-Seidel, SOR and SSOR solvers): failure-free redundancy
-// overhead and recovery cost of the resilient stationary solvers.
+// overhead and recovery cost of the resilient stationary solvers, run
+// through the engine registry ("stationary" with a per-method config).
 #include <cstdio>
+#include <utility>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 #include "solver/stationary.hpp"
 
 int main(int argc, char** argv) {
@@ -14,16 +16,12 @@ int main(int argc, char** argv) {
   const int phi = static_cast<int>(o.get_int("phi", 3));
   const int matrix = static_cast<int>(o.get_int("matrix", 4));
 
-  const auto mat = repro::make_matrix(matrix, args.scale);
-  const Partition part = Partition::block_rows(mat.matrix.rows(), args.nodes);
-  const DistMatrix dist = DistMatrix::distribute(mat.matrix, part);
-  DistVector b(part);
-  {
-    std::vector<double> ones(static_cast<std::size_t>(mat.matrix.rows()), 1.0);
-    std::vector<double> bg(static_cast<std::size_t>(mat.matrix.rows()));
-    mat.matrix.spmv(ones, bg);
-    b.set_global(bg);
-  }
+  auto mat = repro::make_matrix(matrix, args.scale);
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(std::move(mat.matrix))
+                                .nodes(args.nodes)
+                                .preconditioner("none")
+                                .build();  // b = A * ones, noise off
 
   char title[160];
   std::snprintf(title, sizeof title,
@@ -33,37 +31,34 @@ int main(int argc, char** argv) {
   std::printf("%-14s %8s %12s %12s %14s %12s\n", "method", "iters",
               "t_plain[s]", "t_phi[s]", "undist ov%", "t_fail[s]");
 
+  auto& registry = engine::SolverRegistry::instance();
   for (const StationaryMethod method :
        {StationaryMethod::kJacobi, StationaryMethod::kGaussSeidel,
         StationaryMethod::kSor, StationaryMethod::kSsor}) {
-    StationaryOptions sopts;
-    sopts.method = method;
-    sopts.omega = method == StationaryMethod::kJacobi ? 0.8 : 1.3;
-    if (method == StationaryMethod::kGaussSeidel) sopts.omega = 1.0;
-    sopts.rtol = 1e-6;
-    sopts.max_iterations = 200000;
+    engine::SolverConfig c;
+    c.stationary_method = method;
+    c.omega = method == StationaryMethod::kJacobi ? 0.8 : 1.3;
+    if (method == StationaryMethod::kGaussSeidel) c.omega = 1.0;
+    c.rtol = 1e-6;
+    c.max_iterations = 200000;
 
-    Cluster c1(part, CommParams{});
-    ResilientStationary plain(c1, mat.matrix, dist, sopts);
-    DistVector x1(part);
-    const auto r1 = plain.solve(b, x1, {});
+    DistVector x1 = problem.make_x();
+    const auto r1 = registry.create("stationary", c)->solve(problem, x1, {});
     if (!r1.converged) {
       std::printf("%-14s did not converge within %d iterations; skipped\n",
-                  to_string(method).c_str(), sopts.max_iterations);
+                  to_string(method).c_str(), c.max_iterations);
       continue;
     }
 
-    sopts.phi = phi;
-    Cluster c2(part, CommParams{});
-    ResilientStationary resilient(c2, mat.matrix, dist, sopts);
-    DistVector x2(part);
-    const auto r2 = resilient.solve(b, x2, {});
+    c.phi = phi;
+    DistVector x2 = problem.make_x();
+    const auto r2 = registry.create("stationary", c)->solve(problem, x2, {});
 
-    Cluster c3(part, CommParams{});
-    ResilientStationary failing(c3, mat.matrix, dist, sopts);
-    DistVector x3(part);
-    const auto r3 = failing.solve(
-        b, x3, FailureSchedule::contiguous(r1.iterations / 2, 0, phi));
+    DistVector x3 = problem.make_x();
+    const auto r3 = registry.create("stationary", c)
+                        ->solve(problem, x3,
+                                FailureSchedule::contiguous(r1.iterations / 2,
+                                                            0, phi));
 
     std::printf("%-14s %8d %12.5f %12.5f %13.1f%% %12.5f\n",
                 to_string(method).c_str(), r1.iterations, r1.sim_time,

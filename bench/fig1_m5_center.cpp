@@ -2,7 +2,7 @@
 // close to the center of the vectors. Expected shape: reconstruction is
 // cheap, the overhead comes almost entirely from the redundant-copy
 // communication (orange boxes close to blue boxes).
-#include "fig_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   return rpcg::bench::run_figure(5, rpcg::repro::FailureLocation::kCenter, argc,

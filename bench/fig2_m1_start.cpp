@@ -2,7 +2,7 @@
 // start (lower indices) of the vectors. The paper highlights that a run with
 // failures can occasionally finish *faster* than the failure-free run when
 // the reconstruction perturbs the iteration into earlier convergence.
-#include "fig_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   return rpcg::bench::run_figure(1, rpcg::repro::FailureLocation::kStart, argc,

@@ -2,7 +2,7 @@
 // failures at the center. Expected shape: the overhead grows superlinearly
 // with the number of copies but stays small (the dense band already carries
 // most elements to their backups during SpMV).
-#include "fig_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   return rpcg::bench::run_figure(8, rpcg::repro::FailureLocation::kCenter, argc,

@@ -3,7 +3,7 @@
 // failure iteration has little influence on the total runtime.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;

@@ -6,7 +6,7 @@
 //             [--scale S] [--nodes N] [--reps R] [--keep-output]
 //
 // Each bench runs as a child process with the shared --scale/--nodes/--reps
-// flags (see bench_common.hpp); the report records the command line, exit
+// flags (see bench_support.hpp); the report records the command line, exit
 // code, and wall-clock seconds per bench. Output of the children is
 // suppressed unless --keep-output is given.
 #include <cctype>
@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
 #include "util/options.hpp"
 
 #ifndef _WIN32
@@ -51,23 +52,6 @@ struct BenchResult {
   int exit_code = -1;
   double wall_seconds = 0.0;
 };
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
 
 // Forwarded flag values are pasted into a shell command line; restrict them
 // to the numeric-list shapes the benches accept rather than escaping shell
@@ -105,10 +89,10 @@ int main(int argc, char** argv) {
   const double scale = opts.get_double("scale", 32.0);
   const long nodes = opts.get_int("nodes", 64);
   const long reps = opts.get_int("reps", 1);
-  // The remaining shared bench flags (see bench_common.hpp) are forwarded
+  // The remaining shared bench flags (see bench_support.hpp) are forwarded
   // verbatim when given, so the recorded commands match the request.
   std::string passthrough;
-  for (const char* flag : {"noise", "matrices"}) {
+  for (const char* flag : {"noise", "matrices", "precond", "strategy"}) {
     if (!opts.has(flag)) continue;
     const std::string value = opts.get_string(flag, "");
     if (!safe_flag_value(value)) {
@@ -197,7 +181,7 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"command\": \"%s\", "
                  "\"exit_code\": %d, \"wall_seconds\": %.6f}%s\n",
-                 json_escape(r.name).c_str(), json_escape(r.command).c_str(),
+                 rpcg::json_escape(r.name).c_str(), rpcg::json_escape(r.command).c_str(),
                  r.exit_code, r.wall_seconds,
                  i + 1 == results.size() ? "" : ",");
   }

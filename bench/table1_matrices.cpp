@@ -3,7 +3,7 @@
 // the generated analogues actually used in the experiments.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;

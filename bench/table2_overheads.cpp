@@ -6,7 +6,7 @@
 // overhead with failures, each as mean +/- stddev.
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;

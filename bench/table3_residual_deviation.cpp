@@ -6,7 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench_support.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcg;

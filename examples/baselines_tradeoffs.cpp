@@ -7,60 +7,48 @@
 //                           extra iterations;
 //   * ESR (this paper)    — small redundancy overhead each iteration, exact
 //                           recovery, iteration trajectory preserved.
+//
+// Every method is the same registry solver ("resilient-pcg") under a
+// different `recovery` config key — the engine API's whole point.
 #include <cstdio>
 
-#include "core/resilient_pcg.hpp"
+#include "engine/registry.hpp"
 #include "sparse/generators.hpp"
 
 int main() {
   using namespace rpcg;
 
-  const CsrMatrix a = poisson3d_7pt(22, 22, 22);
-  const Partition part = Partition::block_rows(a.rows(), 32);
-  DistVector b(part);
-  {
-    std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
-    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
-    a.spmv(ones, bg);
-    b.set_global(bg);
-  }
-  const auto precond = make_preconditioner("bjacobi", a, part);
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(poisson3d_7pt(22, 22, 22))
+                                .nodes(32)
+                                .preconditioner("bjacobi")
+                                .build();  // b = A * ones
   const int psi = 3;
 
   std::printf("three node failures at mid-solve, 32 nodes, 3-D Poisson "
               "(n = %lld)\n\n",
-              static_cast<long long>(a.rows()));
+              static_cast<long long>(problem.matrix_global().rows()));
   std::printf("%-24s %12s %12s %8s %12s\n", "method", "no-fail [s]",
               "with-fail[s]", "iters", "recovery[s]");
 
   const auto run = [&](RecoveryMethod method, int phi, int ckpt_interval,
                        const char* label) {
-    ResilientPcgOptions opts;
-    opts.pcg.rtol = 1e-8;
-    opts.method = method;
-    opts.phi = phi;
-    opts.checkpoint_interval = ckpt_interval;
+    engine::SolverConfig config;
+    config.recovery = method;
+    config.phi = phi;
+    config.checkpoint_interval = ckpt_interval;
+    const auto solver =
+        engine::SolverRegistry::instance().create("resilient-pcg", config);
 
     // Failure-free run.
-    double t_nofail = 0.0;
-    int iters_ref = 0;
-    {
-      Cluster cluster(part, CommParams{});
-      ResilientPcg solver(cluster, a, *precond, opts);
-      DistVector x(part);
-      const auto res = solver.solve(b, x, {});
-      t_nofail = res.sim_time;
-      iters_ref = res.iterations;
-    }
+    DistVector x0 = problem.make_x();
+    const auto nofail = solver->solve(problem, x0);
     // With psi simultaneous failures at half progress.
-    Cluster cluster(part, CommParams{});
-    ResilientPcg solver(cluster, a, *precond, opts);
-    DistVector x(part);
-    const auto res =
-        solver.solve(b, x, FailureSchedule::contiguous(iters_ref / 2, 8, psi));
-    std::printf("%-24s %12.5f %12.5f %8d %12.5f\n", label, t_nofail,
-                res.sim_time, res.iterations,
-                res.sim_time_phase[static_cast<int>(Phase::kRecovery)]);
+    DistVector x = problem.make_x();
+    const auto res = solver->solve(
+        problem, x, FailureSchedule::contiguous(nofail.iterations / 2, 8, psi));
+    std::printf("%-24s %12.5f %12.5f %8d %12.5f\n", label, nofail.sim_time,
+                res.sim_time, res.iterations, res.recovery_sim_time());
   };
 
   run(RecoveryMethod::kEsr, psi, 0, "esr (phi = 3)");

@@ -1,21 +1,30 @@
-// Solve a user-supplied SPD MatrixMarket system with the resilient solver.
+// Solve a user-supplied SPD MatrixMarket system with a registry-selected
+// resilient solver.
 //
 //   ./matrix_market_solve --file my_matrix.mtx [--nodes 32] [--phi 2]
-//                         [--precond bjacobi] [--fail-at 0.5] [--psi 2]
-//                         [--rtol 1e-8] [--rcm]
+//                         [--solver resilient-pcg] [--precond bjacobi]
+//                         [--fail-at 0.5] [--psi 2] [--rtol 1e-8] [--rcm]
 //
 // Without --file, a demonstration matrix is written to a temporary location
 // first so the example is runnable out of the box. With --rcm the matrix is
 // RCM-reordered before distribution (often much cheaper redundancy, Sec. 5).
+// Unknown --solver/--precond/--recovery names fail with a message listing
+// every registered key. --recovery is honored when given; without it, the
+// method follows --phi (phi > 0 selects ESR). Note --solver=pcg is the
+// non-resilient reference: it requires --phi=0 (or --psi=0) since it
+// tolerates no scheduled failures.
 #include <cstdio>
+#include <exception>
 
-#include "core/resilient_pcg.hpp"
+#include "engine/registry.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/reorder.hpp"
 #include "util/options.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace rpcg;
   const Options opts_cli(argc, argv);
 
@@ -42,51 +51,61 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(opts_cli.get_int("nodes", 32));
   const int phi = static_cast<int>(opts_cli.get_int("phi", 2));
   const int psi = static_cast<int>(opts_cli.get_int("psi", std::min(phi, 2)));
-  const Partition part = Partition::block_rows(a.rows(), nodes);
-  Cluster cluster(part, CommParams{});
+  const Index n = a.rows();
+  const Index nnz = a.nnz();
 
-  DistVector b(part);
-  {
-    std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
-    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
-    a.spmv(ones, bg);
-    b.set_global(bg);
-  }
+  engine::Problem problem =
+      engine::ProblemBuilder()
+          .matrix(std::move(a))
+          .nodes(nodes)
+          .preconditioner(opts_cli.get_string("precond", "bjacobi"))
+          .build();  // b = A * ones
 
-  const auto precond = make_preconditioner(
-      opts_cli.get_string("precond", "bjacobi"), a, part);
-  ResilientPcgOptions opts;
-  opts.pcg.rtol = opts_cli.get_double("rtol", 1e-8);
-  opts.method = phi > 0 ? RecoveryMethod::kEsr : RecoveryMethod::kNone;
-  opts.phi = phi;
-
-  ResilientPcg solver(cluster, a, *precond, opts);
+  engine::SolverConfig config = engine::SolverConfig::from_options(opts_cli);
+  config.phi = phi;
+  // An explicit --recovery wins; otherwise the method follows --phi.
+  if (!opts_cli.has("recovery"))
+    config.recovery = phi > 0 ? RecoveryMethod::kEsr : RecoveryMethod::kNone;
+  const std::string solver_name =
+      opts_cli.get_string("solver", "resilient-pcg");
+  auto& registry = engine::SolverRegistry::instance();
+  const auto solver = registry.create(solver_name, config);
 
   // Place psi failures at the requested progress of a quick reference run.
   FailureSchedule schedule;
   const double fail_at = opts_cli.get_double("fail-at", 0.5);
   if (phi > 0 && psi > 0) {
-    Cluster ref_cluster(part, CommParams{});
-    ResilientPcgOptions ref_opts = opts;
-    ref_opts.method = RecoveryMethod::kNone;
-    ref_opts.phi = 0;
-    ResilientPcg ref(ref_cluster, a, *precond, ref_opts);
-    DistVector x0(part);
-    const auto ref_res = ref.solve(b, x0, {});
+    engine::SolverConfig ref_config = config;
+    ref_config.recovery = RecoveryMethod::kNone;
+    ref_config.phi = 0;
+    DistVector x0 = problem.make_x();
+    const auto ref_res =
+        registry.create(solver_name, ref_config)->solve(problem, x0, {});
     const int at = std::max(1, static_cast<int>(fail_at * ref_res.iterations));
     schedule = FailureSchedule::contiguous(at, nodes / 2, psi);
     std::printf("scheduling %d failure(s) at iteration %d (ranks %d..%d)\n",
                 psi, at, nodes / 2, nodes / 2 + psi - 1);
   }
 
-  DistVector x(part);
-  const auto res = solver.solve(b, x, schedule);
+  DistVector x = problem.make_x();
+  const auto res = solver->solve(problem, x, schedule);
   std::printf("n=%lld nnz=%lld nodes=%d phi=%d | converged=%s iters=%d "
               "rel.res=%.2e sim time=%.5f s (recovery %.5f s)\n",
-              static_cast<long long>(a.rows()),
-              static_cast<long long>(a.nnz()), nodes, phi,
-              res.converged ? "yes" : "no", res.iterations, res.rel_residual,
-              res.sim_time,
-              res.sim_time_phase[static_cast<int>(Phase::kRecovery)]);
+              static_cast<long long>(n), static_cast<long long>(nnz), nodes,
+              phi, res.converged ? "yes" : "no", res.iterations,
+              res.rel_residual, res.sim_time, res.recovery_sim_time());
   return res.converged ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // Unknown registry keys, bad flag values, and solver/schedule conflicts
+    // arrive here; the messages list the valid options.
+    std::fprintf(stderr, "matrix_market_solve: %s\n", e.what());
+    return 1;
+  }
 }

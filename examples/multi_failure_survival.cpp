@@ -8,45 +8,38 @@
 //   (c) repeated failures across the run, including a replacement node that
 //       fails again later,
 //   (d) what happens when failures exceed the configured redundancy phi.
+//
+// Uses the engine API throughout: one Problem bundle, "resilient-pcg" from
+// the registry with per-scenario phi, and the typed event hooks to narrate
+// failures and recoveries as they happen.
 #include <cstdio>
 
-#include "core/resilient_pcg.hpp"
+#include "engine/registry.hpp"
 #include "sparse/generators.hpp"
 
 namespace {
 
 using namespace rpcg;
 
-struct Problem {
-  CsrMatrix a = elasticity3d(8, 8, 8, Stencil3d::kFacesCorners14, 0.0, 1);
-  Partition part = Partition::block_rows(a.rows(), 16);
-  DistVector b{part};
-
-  Problem() {
-    std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
-    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
-    a.spmv(ones, bg);
-    b.set_global(bg);
-  }
-};
-
-void run_scenario(const char* name, Problem& p, int phi,
+void run_scenario(const char* name, engine::Problem& problem, int phi,
                   const FailureSchedule& schedule) {
-  const auto precond = make_preconditioner("bjacobi", p.a, p.part);
-  Cluster cluster(p.part, CommParams{});
-  ResilientPcgOptions opts;
-  opts.pcg.rtol = 1e-8;
-  opts.method = RecoveryMethod::kEsr;
-  opts.phi = phi;
-  ResilientPcg solver(cluster, p.a, *precond, opts);
-  DistVector x(p.part);
+  engine::SolverConfig config;
+  config.recovery = RecoveryMethod::kEsr;
+  config.phi = phi;
+  config.events.on_failure_injected = [](const FailureEvent& ev) {
+    std::printf("  [event] iteration %3d: %zu node(s) failed%s\n",
+                ev.iteration, ev.nodes.size(),
+                ev.during_recovery ? " (during recovery)" : "");
+  };
+  const auto solver =
+      engine::SolverRegistry::instance().create("resilient-pcg", config);
+  DistVector x = problem.make_x();
   std::printf("--- %s (phi = %d) ---\n", name, phi);
   try {
-    const auto res = solver.solve(p.b, x, schedule);
+    const auto res = solver->solve(problem, x, schedule);
     std::printf("converged in %d iterations, %zu recoveries, recovery time "
                 "%.6f s of %.6f s total\n",
-                res.iterations, res.recoveries.size(),
-                res.sim_time_phase[static_cast<int>(Phase::kRecovery)],
+                res.iterations, res.recoveries.size(), res.recovery_sim_time(),
                 res.sim_time);
     for (const auto& rec : res.recoveries) {
       std::printf("  iteration %3d: recovered %zu node(s):", rec.iteration,
@@ -63,10 +56,15 @@ void run_scenario(const char* name, Problem& p, int phi,
 }  // namespace
 
 int main() {
-  Problem p;
+  engine::Problem problem =
+      engine::ProblemBuilder()
+          .matrix(elasticity3d(8, 8, 8, Stencil3d::kFacesCorners14, 0.0, 1))
+          .nodes(16)
+          .preconditioner("bjacobi")
+          .build();
 
   // (a) Three simultaneous failures (contiguous ranks, like a dead switch).
-  run_scenario("three simultaneous failures", p, 3,
+  run_scenario("three simultaneous failures", problem, 3,
                FailureSchedule::contiguous(12, 4, 3));
 
   // (b) Overlapping failure: node 9 dies during the reconstruction of 4-5.
@@ -74,7 +72,7 @@ int main() {
     FailureSchedule s;
     s.add({12, {4, 5}, false});
     s.add({12, {9}, true});  // strikes mid-reconstruction
-    run_scenario("overlapping failure during reconstruction", p, 3, s);
+    run_scenario("overlapping failure during reconstruction", problem, 3, s);
   }
 
   // (c) Failures spread over the run; node 4's replacement dies again.
@@ -83,7 +81,7 @@ int main() {
     s.add({5, {4}, false});
     s.add({18, {11, 12}, false});
     s.add({30, {4}, false});
-    run_scenario("repeated failures, replacement fails again", p, 2, s);
+    run_scenario("repeated failures, replacement fails again", problem, 2, s);
   }
 
   // (d) More simultaneous failures than redundant copies: with phi = 1 a
@@ -92,21 +90,21 @@ int main() {
   // this matrix rank 0's boundary elements do survive, so we use a diagonal
   // matrix where no free copies exist at all.)
   {
-    CsrMatrix diag = CsrMatrix::identity(1600);
-    Partition part = Partition::block_rows(1600, 16);
-    DistVector b(part);
-    std::vector<double> ones(1600, 1.0);
-    b.set_global(ones);
-    const auto precond = make_identity_preconditioner();
-    Cluster cluster(part, CommParams{});
-    ResilientPcgOptions opts;
-    opts.method = RecoveryMethod::kEsr;
-    opts.phi = 1;
-    ResilientPcg solver(cluster, diag, *precond, opts);
-    DistVector x(part);
+    engine::Problem diag = engine::ProblemBuilder()
+                               .matrix(CsrMatrix::identity(1600))
+                               .nodes(16)
+                               .preconditioner("none")
+                               .rhs(std::vector<double>(1600, 1.0))
+                               .build();
+    engine::SolverConfig config;
+    config.recovery = RecoveryMethod::kEsr;
+    config.phi = 1;
+    const auto solver =
+        engine::SolverRegistry::instance().create("resilient-pcg", config);
+    DistVector x = diag.make_x();
     std::printf("--- psi = 2 failures with phi = 1 on a diagonal matrix ---\n");
     try {
-      (void)solver.solve(b, x, FailureSchedule::contiguous(0, 7, 2));
+      (void)solver->solve(diag, x, FailureSchedule::contiguous(0, 7, 2));
       std::printf("unexpectedly recovered\n");
     } catch (const UnrecoverableFailure& e) {
       std::printf("UNRECOVERABLE (as expected): %s\n", e.what());

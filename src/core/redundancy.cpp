@@ -8,19 +8,7 @@
 
 namespace rpcg {
 
-std::string to_string(BackupStrategy s) {
-  switch (s) {
-    case BackupStrategy::kPaperAlternating:
-      return "paper-alternating";
-    case BackupStrategy::kRing:
-      return "ring";
-    case BackupStrategy::kRandom:
-      return "random";
-    case BackupStrategy::kGreedyOverlap:
-      return "greedy-overlap";
-  }
-  return "unknown";
-}
+std::string to_string(BackupStrategy s) { return enum_to_string(s); }
 
 NodeId paper_backup_target(NodeId i, int k, int num_nodes) {
   RPCG_CHECK(k >= 1, "rounds are 1-based");

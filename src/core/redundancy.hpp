@@ -12,14 +12,17 @@
 // phi + 1 copies of every element of p^(j) and p^(j-1) on distinct nodes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/comm_model.hpp"
 #include "sim/partition.hpp"
 #include "sim/scatter_plan.hpp"
+#include "util/enum_names.hpp"
 #include "util/types.hpp"
 
 namespace rpcg {
@@ -38,6 +41,16 @@ enum class BackupStrategy {
   /// during SpMV (largest |S_ik|) — the "adapt to the sparsity pattern"
   /// direction the paper names as future work.
   kGreedyOverlap,
+};
+
+template <>
+struct EnumNames<BackupStrategy> {
+  static constexpr const char* context = "backup strategy";
+  static constexpr std::array<std::pair<BackupStrategy, const char*>, 4> table{
+      {{BackupStrategy::kPaperAlternating, "paper-alternating"},
+       {BackupStrategy::kRing, "ring"},
+       {BackupStrategy::kRandom, "random"},
+       {BackupStrategy::kGreedyOverlap, "greedy-overlap"}}};
 };
 
 [[nodiscard]] std::string to_string(BackupStrategy s);

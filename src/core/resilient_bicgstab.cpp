@@ -252,9 +252,13 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
           store_phat_.invalidate_node(f);
           store_shat_.invalidate_node(f);
         }
+        if (opts_.events.on_failure_injected)
+          opts_.events.on_failure_injected(schedule.events()[idx]);
       }
       recover(merged, alpha, b, r0_pristine, x, r, r0, p, v, s, t, phat, shat,
               res.recoveries, j);
+      if (opts_.events.on_recovery_complete)
+        opts_.events.on_recovery_complete(res.recoveries.back());
     }
 
     const DotPair ts = dot_pair(cluster_, t, s, it);  // t·s and ||t||²
@@ -270,6 +274,15 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     const double rnorm = std::sqrt(dot(cluster_, r, r, it));
     res.iterations = j + 1;
     res.rel_residual = rnorm / rnorm0;
+    if (opts_.events.on_iteration) {
+      IterationSnapshot snap;
+      snap.iteration = res.iterations;
+      snap.rel_residual = res.rel_residual;
+      snap.x = &x;
+      snap.r = &r;
+      snap.p = &p;
+      opts_.events.on_iteration(snap);
+    }
     if (res.rel_residual <= opts_.rtol) {
       res.converged = true;
       break;

@@ -28,9 +28,9 @@
 
 #include "core/backup_store.hpp"
 #include "core/esr.hpp"
+#include "core/events.hpp"  // RecoveryRecord, SolverEvents
 #include "core/failure_schedule.hpp"
 #include "core/redundancy.hpp"
-#include "core/resilient_pcg.hpp"  // RecoveryRecord
 #include "precond/preconditioner.hpp"
 #include "sim/cluster.hpp"
 #include "sim/dist_matrix.hpp"
@@ -46,6 +46,9 @@ struct BicgstabOptions {
   BackupStrategy strategy = BackupStrategy::kPaperAlternating;
   std::uint64_t strategy_seed = 0;
   EsrOptions esr;
+  /// Typed event hooks (core/events.hpp). on_iteration snapshots expose x,
+  /// r and p; z is null (BiCGSTAB has no preconditioned residual z).
+  SolverEvents events;
 };
 
 struct BicgstabResult {

@@ -12,40 +12,29 @@
 
 namespace rpcg {
 
-std::string to_string(RecoveryMethod m) {
-  switch (m) {
-    case RecoveryMethod::kNone:
-      return "none";
-    case RecoveryMethod::kEsr:
-      return "esr";
-    case RecoveryMethod::kCheckpointRestart:
-      return "checkpoint-restart";
-    case RecoveryMethod::kInterpolationRestart:
-      return "interpolation-restart";
-  }
-  return "unknown";
-}
+std::string to_string(RecoveryMethod m) { return enum_to_string(m); }
 
 ResilientPcg::ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
                            const Preconditioner& m, ResilientPcgOptions opts)
-    : cluster_(cluster),
-      a_global_(&a_global),
-      m_(&m),
-      opts_(opts),
-      owned_a_(std::make_unique<DistMatrix>(
-          DistMatrix::distribute(a_global, cluster.partition()))),
-      a_(owned_a_.get()) {
-  init();
-}
+    : ResilientPcg(cluster, a_global,
+                   MaybeOwned<DistMatrix>::owned(
+                       DistMatrix::distribute(a_global, cluster.partition())),
+                   m, std::move(opts)) {}
 
 ResilientPcg::ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
                            const DistMatrix& a, const Preconditioner& m,
                            ResilientPcgOptions opts)
-    : cluster_(cluster), a_global_(&a_global), m_(&m), opts_(opts), a_(&a) {
-  init();
-}
+    : ResilientPcg(cluster, a_global, MaybeOwned<DistMatrix>::borrowed(a), m,
+                   std::move(opts)) {}
 
-void ResilientPcg::init() {
+ResilientPcg::ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           MaybeOwned<DistMatrix> a, const Preconditioner& m,
+                           ResilientPcgOptions opts)
+    : cluster_(cluster),
+      a_global_(&a_global),
+      m_(&m),
+      opts_(std::move(opts)),
+      a_(std::move(a)) {
   if (opts_.method == RecoveryMethod::kEsr) {
     RPCG_CHECK(opts_.phi >= 1, "ESR needs phi >= 1 redundant copies");
   } else {
@@ -120,6 +109,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
       ckpt.save(cluster_, j, x, r, z, p, rz, beta_prev);
       last_ckpt_saved_at = j;
       ++res.checkpoints_written;
+      if (opts_.events.on_checkpoint)
+        opts_.events.on_checkpoint({j, res.checkpoints_written - 1});
     }
 
     // Lines 3/5 SpMV: u = A p. With ESR, the redundant copies of p^(j) are
@@ -156,6 +147,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
               (void)store_.gather_lost(cluster_, part.rows_of_set(merged));
             }
             inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            if (opts_.events.on_failure_injected)
+              opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
             first = false;
           }
@@ -165,6 +158,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           rec.stats = reconstructor.recover(cluster_, merged, store_, beta_prev,
                                             b, x, r, z, p, p_prev);
           res.recoveries.push_back(std::move(rec));
+          if (opts_.events.on_recovery_complete)
+            opts_.events.on_recovery_complete(res.recoveries.back());
           // Resume iteration j: recompute u = A p on the recovered state.
           for (const NodeId f : merged) u.revalidate_zero(f);
           a_->spmv(cluster_, p, u, halos, Phase::kRecovery);
@@ -176,6 +171,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
             const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
             fired[static_cast<std::size_t>(idx)] = 1;
             inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            if (opts_.events.on_failure_injected)
+              opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
           }
           cluster_.charge_allreduce(Phase::kRecovery, 1);  // detection
@@ -194,6 +191,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           rec.stats.sim_seconds =
               cluster_.clock().in_phase(Phase::kRecovery) - t0;
           res.recoveries.push_back(std::move(rec));
+          if (opts_.events.on_recovery_complete)
+            opts_.events.on_recovery_complete(res.recoveries.back());
           res.rolled_back_iterations += j - ckpt.iteration();
           j = ckpt.iteration();
           skip_update = true;
@@ -205,6 +204,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
             const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
             fired[static_cast<std::size_t>(idx)] = 1;
             inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            if (opts_.events.on_failure_injected)
+              opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
           }
           RecoveryRecord rec;
@@ -213,6 +214,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           rec.stats = interpolation_restart_recover(cluster_, *a_global_,
                                                     merged, b, x, opts_.esr);
           res.recoveries.push_back(std::move(rec));
+          if (opts_.events.on_recovery_complete)
+            opts_.events.on_recovery_complete(res.recoveries.back());
           // Restart CG from the interpolated iterate: the Krylov history is
           // lost (r, z, p rebuilt from scratch).
           for (const NodeId f : merged) {
@@ -248,7 +251,7 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     ++res.iterations;
     res.rel_residual = std::sqrt(d.rr) / rnorm0;
     res.solver_residual_norm = std::sqrt(d.rr);
-    if (opts_.observer) {
+    if (opts_.observer || opts_.events.on_iteration) {
       IterationSnapshot snap;
       snap.iteration = res.iterations;
       snap.rel_residual = res.rel_residual;
@@ -256,7 +259,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
       snap.r = &r;
       snap.z = &z;
       snap.p = &p;
-      opts_.observer(snap);
+      if (opts_.observer) opts_.observer(snap);
+      if (opts_.events.on_iteration) opts_.events.on_iteration(snap);
     }
     if (res.rel_residual <= opts_.pcg.rtol) {
       res.converged = true;

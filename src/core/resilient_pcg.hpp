@@ -11,11 +11,12 @@
 
 #include <array>
 #include <functional>
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/backup_store.hpp"
 #include "core/esr.hpp"
+#include "core/events.hpp"
 #include "core/failure_schedule.hpp"
 #include "core/redundancy.hpp"
 #include "precond/preconditioner.hpp"
@@ -23,6 +24,8 @@
 #include "sim/dist_matrix.hpp"
 #include "sim/dist_vector.hpp"
 #include "solver/pcg.hpp"
+#include "util/enum_names.hpp"
+#include "util/maybe_owned.hpp"
 
 namespace rpcg {
 
@@ -33,20 +36,17 @@ enum class RecoveryMethod {
   kInterpolationRestart,  ///< Langou-style interpolation + restart
 };
 
-[[nodiscard]] std::string to_string(RecoveryMethod m);
-
-/// Read-only view of the solver state after a completed iteration, passed to
-/// the optional observer: x^(j+1), r^(j+1), z^(j+1) and the search direction
-/// p^(j) the iteration used. Useful for progress monitoring and for testing
-/// that recovery preserves the iteration trajectory exactly.
-struct IterationSnapshot {
-  int iteration = 0;         ///< completed iterations so far
-  double rel_residual = 0.0;
-  const DistVector* x = nullptr;
-  const DistVector* r = nullptr;
-  const DistVector* z = nullptr;
-  const DistVector* p = nullptr;
+template <>
+struct EnumNames<RecoveryMethod> {
+  static constexpr const char* context = "recovery method";
+  static constexpr std::array<std::pair<RecoveryMethod, const char*>, 4> table{
+      {{RecoveryMethod::kNone, "none"},
+       {RecoveryMethod::kEsr, "esr"},
+       {RecoveryMethod::kCheckpointRestart, "checkpoint-restart"},
+       {RecoveryMethod::kInterpolationRestart, "interpolation-restart"}}};
 };
+
+[[nodiscard]] std::string to_string(RecoveryMethod m);
 
 struct ResilientPcgOptions {
   PcgOptions pcg;
@@ -61,13 +61,10 @@ struct ResilientPcgOptions {
   /// Seed for the kRandom backup strategy.
   std::uint64_t strategy_seed = 0;
   /// Called after every completed iteration (not after rollbacks/restarts).
+  /// Deprecated alias for events.on_iteration; both are invoked when set.
   std::function<void(const IterationSnapshot&)> observer;
-};
-
-struct RecoveryRecord {
-  int iteration = 0;
-  std::vector<NodeId> nodes;
-  RecoveryStats stats;
+  /// Typed event hooks (core/events.hpp), superseding `observer`.
+  SolverEvents events;
 };
 
 struct ResilientPcgResult {
@@ -116,7 +113,10 @@ class ResilientPcg {
   }
 
  private:
-  void init();
+  ResilientPcg(Cluster& cluster, const CsrMatrix& a_global,
+               MaybeOwned<DistMatrix> a, const Preconditioner& m,
+               ResilientPcgOptions opts);
+
   void inject_failures(const std::vector<NodeId>& nodes,
                        std::vector<DistVector*> state);
 
@@ -124,8 +124,9 @@ class ResilientPcg {
   const CsrMatrix* a_global_;
   const Preconditioner* m_;
   ResilientPcgOptions opts_;
-  std::unique_ptr<DistMatrix> owned_a_;  // only for the convenience ctor
-  const DistMatrix* a_;
+  /// Owns the distributed matrix when the convenience ctor built it,
+  /// borrows it otherwise — the same ownership model as engine::Problem.
+  MaybeOwned<DistMatrix> a_;
   RedundancyScheme scheme_;
   BackupStore store_;
   double redundancy_step_cost_ = 0.0;  // max_i(base+extra) - max_i(base)

@@ -1,0 +1,143 @@
+#include "engine/problem.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "engine/registry.hpp"
+
+namespace rpcg::engine {
+
+Cluster Problem::make_cluster() const {
+  Cluster cluster(partition_, comm_);
+  if (noise_cv_ > 0.0) cluster.clock().set_noise(noise_cv_, noise_seed_);
+  return cluster;
+}
+
+ProblemBuilder& ProblemBuilder::matrix(CsrMatrix&& a) {
+  a_global_ = MaybeOwned<CsrMatrix>::owned(std::move(a));
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::borrow_matrix(const CsrMatrix& a) {
+  a_global_ = MaybeOwned<CsrMatrix>::borrowed(a);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::nodes(int n) {
+  if (n < 1) throw std::invalid_argument("ProblemBuilder: nodes must be >= 1");
+  nodes_ = n;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::partition(Partition p) {
+  partition_ = std::move(p);
+  have_partition_ = true;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::borrow_dist_matrix(const DistMatrix& a) {
+  borrowed_dist_ = &a;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::preconditioner(std::string name) {
+  precond_name_ = std::move(name);
+  precond_ = {};
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::preconditioner(
+    std::unique_ptr<Preconditioner> m) {
+  if (!m) throw std::invalid_argument("ProblemBuilder: null preconditioner");
+  precond_name_ = m->name();
+  precond_ = MaybeOwned<Preconditioner>::owned(std::move(m));
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::borrow_preconditioner(const Preconditioner& m) {
+  precond_name_ = m.name();
+  precond_ = MaybeOwned<Preconditioner>::borrowed(m);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs(std::vector<double> b_global) {
+  rhs_global_ = std::move(b_global);
+  x_true_.clear();
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs_from_solution(std::vector<double> x_true) {
+  x_true_ = std::move(x_true);
+  rhs_global_.clear();
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::comm(CommParams params) {
+  comm_ = params;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::noise(double cv, std::uint64_t seed) {
+  noise_cv_ = cv;
+  noise_seed_ = seed;
+  return *this;
+}
+
+Problem ProblemBuilder::build() {
+  if (!a_global_)
+    throw std::invalid_argument(
+        "ProblemBuilder: no system matrix; call matrix() or borrow_matrix()");
+  const CsrMatrix& a = *a_global_;
+  const auto n = static_cast<std::size_t>(a.rows());
+
+  Problem p;
+  p.a_global_ = std::move(a_global_);
+
+  if (borrowed_dist_ != nullptr) {
+    p.partition_ = borrowed_dist_->partition();
+    p.a_dist_ = MaybeOwned<DistMatrix>::borrowed(*borrowed_dist_);
+  } else {
+    p.partition_ =
+        have_partition_ ? partition_ : Partition::block_rows(a.rows(), nodes_);
+    p.a_dist_ =
+        MaybeOwned<DistMatrix>::owned(DistMatrix::distribute(a, p.partition_));
+  }
+
+  if (precond_) {
+    p.m_ = std::move(precond_);
+  } else {
+    p.m_ = MaybeOwned<Preconditioner>::owned(
+        PreconditionerRegistry::instance().create(precond_name_, a,
+                                                  p.partition_));
+  }
+  p.precond_name_ = precond_name_;
+
+  std::vector<double> b_global;
+  if (!rhs_global_.empty()) {
+    if (rhs_global_.size() != n)
+      throw std::invalid_argument("ProblemBuilder: rhs size " +
+                                  std::to_string(rhs_global_.size()) +
+                                  " != matrix rows " + std::to_string(n));
+    b_global = std::move(rhs_global_);
+  } else {
+    std::vector<double> x_true = std::move(x_true_);
+    if (x_true.empty()) {
+      x_true.assign(n, 1.0);
+    } else if (x_true.size() != n) {
+      throw std::invalid_argument("ProblemBuilder: solution size " +
+                                  std::to_string(x_true.size()) +
+                                  " != matrix rows " + std::to_string(n));
+    }
+    b_global.resize(n);
+    a.spmv(x_true, b_global);
+  }
+  p.b_ = DistVector(p.partition_);
+  p.b_.set_global(b_global);
+
+  p.comm_ = comm_;
+  p.noise_cv_ = noise_cv_;
+  p.noise_seed_ = noise_seed_;
+  return p;
+}
+
+}  // namespace rpcg::engine

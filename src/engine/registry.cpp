@@ -1,0 +1,105 @@
+#include "engine/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rpcg::engine {
+
+// Implemented in engine/solvers.cpp; called exactly once per registry from
+// instance(). Registration through a named function keeps the built-ins
+// linked into every binary that touches a registry (a static-initializer
+// approach could be dead-stripped out of the static library).
+void register_builtin_solvers(SolverRegistry& registry);
+void register_builtin_preconditioners(PreconditionerRegistry& registry);
+
+namespace {
+
+template <typename Map>
+[[nodiscard]] std::string key_list(const Map& factories) {
+  std::string out;
+  for (const auto& [name, factory] : factories) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+template <typename Map>
+[[nodiscard]] std::vector<std::string> key_vector(const Map& factories) {
+  std::vector<std::string> out;
+  out.reserve(factories.size());
+  for (const auto& [name, factory] : factories) out.push_back(name);
+  return out;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::register_solver(const std::string& name, Factory factory) {
+  if (!factory)
+    throw std::invalid_argument("SolverRegistry: null factory for '" + name +
+                                "'");
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(
+    const std::string& name, const SolverConfig& config) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw std::invalid_argument("unknown solver '" + name +
+                                "'; valid: " + key_list(factories_));
+  return it->second(config);
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  return key_vector(factories_);
+}
+
+PreconditionerRegistry& PreconditionerRegistry::instance() {
+  static PreconditionerRegistry* registry = [] {
+    auto* r = new PreconditionerRegistry();
+    register_builtin_preconditioners(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PreconditionerRegistry::register_preconditioner(const std::string& name,
+                                                     Factory factory) {
+  if (!factory)
+    throw std::invalid_argument("PreconditionerRegistry: null factory for '" +
+                                name + "'");
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Preconditioner> PreconditionerRegistry::create(
+    const std::string& name, const CsrMatrix& a,
+    const Partition& partition) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw std::invalid_argument("unknown preconditioner '" + name +
+                                "'; valid: " + key_list(factories_));
+  return it->second(a, partition);
+}
+
+bool PreconditionerRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> PreconditionerRegistry::names() const {
+  return key_vector(factories_);
+}
+
+}  // namespace rpcg::engine

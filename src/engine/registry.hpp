@@ -1,0 +1,76 @@
+// String-keyed registries of the engine API.
+//
+// The SolverRegistry maps a name to a factory producing an engine::Solver
+// from a SolverConfig; the PreconditionerRegistry maps a name to a factory
+// producing a Preconditioner from the global matrix + partition. Both
+// reject unknown keys with an std::invalid_argument that lists every
+// registered name — the same UX as the enum from_string parsers.
+//
+// The built-in families register themselves on first use of instance()
+// (deterministic, immune to static-library dead stripping):
+//
+//   solvers:          "pcg", "resilient-pcg", "resilient-bicgstab",
+//                     "stationary"
+//   preconditioners:  "none", "jacobi", "bjacobi", "ssor", "ic0-split"
+//                     (aliases: "identity" -> none, "ic0" -> ic0-split)
+//
+// Adding a new solver variant is one register_solver() call — no harness,
+// bench, or CLI change needed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/solver.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace rpcg::engine {
+
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>(const SolverConfig&)>;
+
+  /// The process-wide registry, with the built-ins pre-registered.
+  [[nodiscard]] static SolverRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void register_solver(const std::string& name, Factory factory);
+
+  /// Constructs the solver registered under `name`; unknown names throw
+  /// std::invalid_argument listing the valid keys.
+  [[nodiscard]] std::unique_ptr<Solver> create(
+      const std::string& name, const SolverConfig& config = {}) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+class PreconditionerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Preconditioner>(
+      const CsrMatrix&, const Partition&)>;
+
+  [[nodiscard]] static PreconditionerRegistry& instance();
+
+  void register_preconditioner(const std::string& name, Factory factory);
+
+  [[nodiscard]] std::unique_ptr<Preconditioner> create(
+      const std::string& name, const CsrMatrix& a,
+      const Partition& partition) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// All registered names (aliases included), sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace rpcg::engine

@@ -1,0 +1,197 @@
+#include "engine/solve_report.hpp"
+
+#include <charconv>
+
+#include "util/json.hpp"
+
+namespace rpcg::engine {
+
+namespace {
+
+// Shortest round-trip representation — deterministic across platforms,
+// unlike printf's locale- and precision-sensitive %g.
+std::string fmt(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+std::string fmt(bool v) { return v ? "true" : "false"; }
+
+constexpr const char* kPhaseNames[kNumPhases] = {"iteration", "redundancy",
+                                                 "checkpoint", "recovery"};
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : base_(indent) {}
+
+  void open(const char* bracket = "{") { line(bracket); ++depth_; }
+  void close(const char* bracket = "}", bool comma = false) {
+    --depth_;
+    std::string s = bracket;
+    if (comma) s += ',';
+    line(s);
+  }
+  void field(const char* key, const std::string& rendered, bool comma = true) {
+    std::string s = "\"";
+    s += key;
+    s += "\": ";
+    s += rendered;
+    if (comma) s += ',';
+    line(s);
+  }
+  void raw(std::string rendered, bool comma = true) {
+    if (comma) rendered += ',';
+    line(rendered);
+  }
+  void open_field(const char* key, const char* bracket) {
+    std::string s = "\"";
+    s += key;
+    s += "\": ";
+    s += bracket;
+    line(s);
+    ++depth_;
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void line(const std::string& s) {
+    out_.append(static_cast<std::size_t>(base_ + 2 * depth_), ' ');
+    out_ += s;
+    out_ += '\n';
+  }
+
+  std::string out_;
+  int base_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string SolveReport::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.open();
+  w.field("schema", json_quote("rpcg-solve-report/v1"));
+  w.field("solver", json_quote(solver));
+  w.field("preconditioner", json_quote(preconditioner));
+  w.field("converged", fmt(converged));
+  w.field("iterations", std::to_string(iterations));
+  w.field("rel_residual", fmt(rel_residual));
+  w.field("solver_residual_norm", fmt(solver_residual_norm));
+  w.field("true_residual_norm", fmt(true_residual_norm));
+  w.field("delta_metric", fmt(delta_metric));
+  w.field("sim_time", fmt(sim_time));
+  w.open_field("sim_time_phase", "{");
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    w.field(kPhaseNames[ph], fmt(sim_time_phase[static_cast<std::size_t>(ph)]),
+            ph + 1 < kNumPhases);
+  w.close("}", true);
+  w.field("wall_seconds", fmt(wall_seconds));
+  w.field("redundancy_overhead_per_iteration",
+          fmt(redundancy_overhead_per_iteration));
+  w.field("checkpoints_written", std::to_string(checkpoints_written));
+  w.field("rolled_back_iterations", std::to_string(rolled_back_iterations));
+  w.open_field("recoveries", "[");
+  for (std::size_t i = 0; i < recoveries.size(); ++i) {
+    const RecoveryRecord& rec = recoveries[i];
+    std::string nodes;
+    for (const NodeId f : rec.nodes) {
+      if (!nodes.empty()) nodes += ", ";
+      nodes += std::to_string(f);
+    }
+    std::string entry = "{\"iteration\": ";
+    entry += std::to_string(rec.iteration);
+    entry += ", \"nodes\": [";
+    entry += nodes;
+    entry += "], \"psi\": ";
+    entry += std::to_string(rec.stats.psi);
+    entry += ", \"lost_rows\": ";
+    entry += std::to_string(rec.stats.lost_rows);
+    entry += ", \"gathered_elements\": ";
+    entry += std::to_string(rec.stats.gathered_elements);
+    entry += ", \"local_solve_iterations\": ";
+    entry += std::to_string(rec.stats.local_solve_iterations);
+    entry += ", \"local_solve_rel_residual\": ";
+    entry += fmt(rec.stats.local_solve_rel_residual);
+    entry += ", \"sim_seconds\": ";
+    entry += fmt(rec.stats.sim_seconds);
+    entry += '}';
+    w.raw(std::move(entry), i + 1 < recoveries.size());
+  }
+  w.close("]", false);
+  w.close("}", false);
+  std::string out = std::move(w).str();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+namespace {
+
+SolveReport common(std::string solver, std::string precond) {
+  SolveReport rep;
+  rep.solver = std::move(solver);
+  rep.preconditioner = std::move(precond);
+  return rep;
+}
+
+}  // namespace
+
+SolveReport make_report(std::string solver, std::string precond,
+                        const ResilientPcgResult& r) {
+  SolveReport rep = common(std::move(solver), std::move(precond));
+  rep.converged = r.converged;
+  rep.iterations = r.iterations;
+  rep.rel_residual = r.rel_residual;
+  rep.solver_residual_norm = r.solver_residual_norm;
+  rep.true_residual_norm = r.true_residual_norm;
+  rep.delta_metric = r.delta_metric;
+  rep.sim_time = r.sim_time;
+  rep.sim_time_phase = r.sim_time_phase;
+  rep.wall_seconds = r.wall_seconds;
+  rep.recoveries = r.recoveries;
+  rep.checkpoints_written = r.checkpoints_written;
+  rep.rolled_back_iterations = r.rolled_back_iterations;
+  return rep;
+}
+
+SolveReport make_report(std::string solver, std::string precond,
+                        const PcgResult& r) {
+  SolveReport rep = common(std::move(solver), std::move(precond));
+  rep.converged = r.converged;
+  rep.iterations = r.iterations;
+  rep.rel_residual = r.rel_residual;
+  rep.solver_residual_norm = r.solver_residual_norm;
+  rep.true_residual_norm = r.true_residual_norm;
+  rep.delta_metric = r.delta_metric;
+  rep.sim_time = r.sim_time;
+  rep.sim_time_phase = r.sim_time_phase;
+  return rep;
+}
+
+SolveReport make_report(std::string solver, std::string precond,
+                        const BicgstabResult& r) {
+  SolveReport rep = common(std::move(solver), std::move(precond));
+  rep.converged = r.converged;
+  rep.iterations = r.iterations;
+  rep.rel_residual = r.rel_residual;
+  rep.true_residual_norm = r.true_residual_norm;
+  rep.sim_time = r.sim_time;
+  rep.sim_time_phase = r.sim_time_phase;
+  rep.recoveries = r.recoveries;
+  return rep;
+}
+
+SolveReport make_report(std::string solver, std::string precond,
+                        const StationaryResult& r) {
+  SolveReport rep = common(std::move(solver), std::move(precond));
+  rep.converged = r.converged;
+  rep.iterations = r.iterations;
+  rep.rel_residual = r.rel_residual;
+  rep.sim_time = r.sim_time;
+  rep.sim_time_phase = r.sim_time_phase;
+  rep.recoveries = r.recoveries;
+  return rep;
+}
+
+}  // namespace rpcg::engine

@@ -1,0 +1,75 @@
+// The one structured result type of the engine API.
+//
+// SolveReport subsumes the per-family result structs (PcgResult,
+// ResilientPcgResult, BicgstabResult, StationaryResult): every field that
+// any solver family reports has one canonical slot here, and fields a
+// family cannot produce stay at their zero defaults. It serializes to the
+// JSON dialect of the existing `rpcg-bench-report/v1` perf reports
+// (schema key `rpcg-solve-report/v1`), so per-solve records can be embedded
+// into — or diffed against — the bench trajectory snapshots.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"  // RecoveryRecord
+#include "core/resilient_pcg.hpp"
+#include "core/resilient_bicgstab.hpp"
+#include "sim/cluster.hpp"  // Phase, kNumPhases
+#include "solver/pcg.hpp"
+#include "solver/stationary.hpp"
+
+namespace rpcg::engine {
+
+struct SolveReport {
+  /// Registry key of the solver that produced this report ("pcg",
+  /// "resilient-pcg", ...) and the preconditioner name it ran with.
+  std::string solver;
+  std::string preconditioner;
+
+  // Convergence.
+  bool converged = false;
+  int iterations = 0;
+  double rel_residual = 0.0;
+  double solver_residual_norm = 0.0;
+  double true_residual_norm = 0.0;
+  double delta_metric = 0.0;  ///< Eqn. 7 residual deviation
+
+  // Simulated time, total and per accounting phase.
+  double sim_time = 0.0;
+  std::array<double, kNumPhases> sim_time_phase{};
+  double wall_seconds = 0.0;
+
+  // Resilience accounting.
+  std::vector<RecoveryRecord> recoveries;
+  int checkpoints_written = 0;
+  int rolled_back_iterations = 0;  ///< work redone by the C/R baseline
+  /// Failure-free per-iteration cost of the redundant copies (Sec. 4.2).
+  double redundancy_overhead_per_iteration = 0.0;
+
+  [[nodiscard]] double recovery_sim_time() const {
+    return sim_time_phase[static_cast<std::size_t>(Phase::kRecovery)];
+  }
+  [[nodiscard]] double redundancy_sim_time() const {
+    return sim_time_phase[static_cast<std::size_t>(Phase::kRedundancy)];
+  }
+
+  /// Deterministic JSON (stable key order, shortest-round-trip doubles),
+  /// schema `rpcg-solve-report/v1`. `indent` shifts every line right by that
+  /// many spaces so reports can be embedded in a surrounding document.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+/// Wrappers from the per-family result structs; `solver`/`precond` name
+/// what produced the result (registry keys when run through the engine).
+[[nodiscard]] SolveReport make_report(std::string solver, std::string precond,
+                                      const ResilientPcgResult& r);
+[[nodiscard]] SolveReport make_report(std::string solver, std::string precond,
+                                      const PcgResult& r);
+[[nodiscard]] SolveReport make_report(std::string solver, std::string precond,
+                                      const BicgstabResult& r);
+[[nodiscard]] SolveReport make_report(std::string solver, std::string precond,
+                                      const StationaryResult& r);
+
+}  // namespace rpcg::engine

@@ -1,0 +1,81 @@
+// The abstract Solver interface of the engine API and its one config type.
+//
+// A Solver is constructed from a SolverRegistry key + SolverConfig and runs
+// against any Problem bundle:
+//
+//   auto solver = engine::SolverRegistry::instance().create("resilient-pcg",
+//                                                           config);
+//   DistVector x = problem.make_x();
+//   engine::SolveReport report = solver->solve(problem, x, schedule);
+//
+// Every solve mints a fresh cluster from the Problem (all nodes alive,
+// clock at zero, the Problem's noise settings applied), so repeated solves
+// of one Solver are independent experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/events.hpp"
+#include "core/failure_schedule.hpp"
+#include "core/resilient_pcg.hpp"   // RecoveryMethod, EsrOptions
+#include "engine/problem.hpp"
+#include "engine/solve_report.hpp"
+#include "solver/stationary.hpp"    // StationaryMethod
+#include "util/options.hpp"
+
+namespace rpcg::engine {
+
+/// One config for every registered solver family. Fields a family does not
+/// use are ignored (e.g. `omega` outside "stationary"; `recovery` and
+/// `checkpoint_interval` outside "resilient-pcg"). The string-keyed enum
+/// fields round-trip via from_string/to_string, so a config is fully
+/// constructible from command-line options (see from_options).
+struct SolverConfig {
+  double rtol = 1e-8;
+  int max_iterations = 100000;
+
+  /// Recovery method of the resilient PCG engine ("none", "esr",
+  /// "checkpoint-restart", "interpolation-restart").
+  RecoveryMethod recovery = RecoveryMethod::kNone;
+  /// Redundant copies; >= 1 enables ESR-style resilience, 0 disables it.
+  int phi = 0;
+  BackupStrategy strategy = BackupStrategy::kPaperAlternating;
+  std::uint64_t strategy_seed = 0;
+  EsrOptions esr;
+  /// Checkpoint interval in iterations (checkpoint-restart only).
+  int checkpoint_interval = 50;
+
+  /// Stationary family only.
+  StationaryMethod stationary_method = StationaryMethod::kJacobi;
+  double omega = 1.0;
+
+  /// Typed event hooks, forwarded to the underlying engine. The reference
+  /// "pcg" solver supports no hooks (it exists as the bit-for-bit baseline).
+  SolverEvents events;
+
+  /// Reads --rtol, --max-iterations, --recovery, --phi, --strategy,
+  /// --strategy-seed, --local-rtol, --checkpoint-interval,
+  /// --stationary-method, --omega. Unknown enum names throw
+  /// std::invalid_argument listing the valid keys.
+  [[nodiscard]] static SolverConfig from_options(const Options& o);
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// The registry key this solver was created under.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solves A x = b for the Problem's RHS from the initial guess in x
+  /// (overwritten with the solution); failures are injected per schedule.
+  [[nodiscard]] virtual SolveReport solve(Problem& problem, DistVector& x,
+                                          const FailureSchedule& schedule) = 0;
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x) {
+    return solve(problem, x, FailureSchedule{});
+  }
+};
+
+}  // namespace rpcg::engine

@@ -1,0 +1,194 @@
+// Built-in solver and preconditioner registrations: the adapters that put
+// the four solver families behind the uniform engine::Solver interface.
+//
+// Each adapter translates SolverConfig into the family's native options,
+// mints a fresh cluster from the Problem, runs the family's engine, and
+// wraps the native result into a SolveReport. Adding a family is one more
+// adapter + one register_solver() line here — nothing else in the repo
+// needs to know about it.
+#include "core/resilient_bicgstab.hpp"
+#include "core/resilient_pcg.hpp"
+#include "engine/registry.hpp"
+#include "solver/pcg.hpp"
+#include "solver/stationary.hpp"
+#include "util/check.hpp"
+
+namespace rpcg::engine {
+
+namespace {
+
+/// The reference (non-resilient) PCG, wrapping the legacy pcg_solve free
+/// function unchanged — it is the bit-for-bit baseline the resilient
+/// engine is tested against, so it must stay exactly that code path.
+class PcgSolver final : public Solver {
+ public:
+  explicit PcgSolver(const SolverConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "pcg"; }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    RPCG_CHECK(schedule.empty(),
+               "the reference 'pcg' solver tolerates no failures; use "
+               "'resilient-pcg'");
+    Cluster cluster = problem.make_cluster();
+    PcgOptions opts;
+    opts.rtol = config_.rtol;
+    opts.max_iterations = config_.max_iterations;
+    const PcgResult res = pcg_solve(cluster, problem.matrix(),
+                                    problem.preconditioner(), problem.rhs(), x,
+                                    opts);
+    return make_report(name(), problem.preconditioner_name(), res);
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+class ResilientPcgSolver final : public Solver {
+ public:
+  explicit ResilientPcgSolver(const SolverConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "resilient-pcg"; }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    Cluster cluster = problem.make_cluster();
+    ResilientPcgOptions opts;
+    opts.pcg.rtol = config_.rtol;
+    opts.pcg.max_iterations = config_.max_iterations;
+    opts.method = config_.recovery;
+    opts.phi = config_.phi;
+    opts.strategy = config_.strategy;
+    opts.strategy_seed = config_.strategy_seed;
+    opts.esr = config_.esr;
+    opts.checkpoint_interval = config_.checkpoint_interval;
+    opts.events = config_.events;
+    ResilientPcg engine(cluster, problem.matrix_global(), problem.matrix(),
+                        problem.preconditioner(), opts);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, schedule);
+    SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
+    rep.redundancy_overhead_per_iteration =
+        engine.redundancy_overhead_per_iteration();
+    return rep;
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+class BicgstabSolver final : public Solver {
+ public:
+  explicit BicgstabSolver(const SolverConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "resilient-bicgstab";
+  }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    Cluster cluster = problem.make_cluster();
+    BicgstabOptions opts;
+    opts.rtol = config_.rtol;
+    opts.max_iterations = config_.max_iterations;
+    opts.phi = config_.phi;
+    opts.strategy = config_.strategy;
+    opts.strategy_seed = config_.strategy_seed;
+    opts.esr = config_.esr;
+    opts.events = config_.events;
+    ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
+                             problem.preconditioner(), opts);
+    return make_report(name(), problem.preconditioner_name(),
+                       engine.solve(problem.rhs(), x, schedule));
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+class StationarySolver final : public Solver {
+ public:
+  explicit StationarySolver(const SolverConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "stationary"; }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    Cluster cluster = problem.make_cluster();
+    StationaryOptions opts;
+    opts.method = config_.stationary_method;
+    opts.omega = config_.omega;
+    opts.rtol = config_.rtol;
+    opts.max_iterations = config_.max_iterations;
+    opts.phi = config_.phi;
+    opts.strategy = config_.strategy;
+    opts.strategy_seed = config_.strategy_seed;
+    opts.events = config_.events;
+    ResilientStationary engine(cluster, problem.matrix_global(),
+                               problem.matrix(), opts);
+    // The stationary family ignores the Problem's preconditioner ("none");
+    // `solver` stays the registry key per the SolveReport contract, and the
+    // method actually swept is the config's stationary_method.
+    return make_report(name(), "none",
+                       engine.solve(problem.rhs(), x, schedule));
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace
+
+SolverConfig SolverConfig::from_options(const Options& o) {
+  SolverConfig c;
+  c.rtol = o.get_double("rtol", c.rtol);
+  c.max_iterations =
+      static_cast<int>(o.get_int("max-iterations", c.max_iterations));
+  c.recovery = o.get_enum<RecoveryMethod>("recovery", c.recovery);
+  c.phi = static_cast<int>(o.get_int("phi", c.phi));
+  c.strategy = o.get_enum<BackupStrategy>("strategy", c.strategy);
+  c.strategy_seed = static_cast<std::uint64_t>(
+      o.get_int("strategy-seed", static_cast<long>(c.strategy_seed)));
+  c.esr.local_rtol = o.get_double("local-rtol", c.esr.local_rtol);
+  c.checkpoint_interval = static_cast<int>(
+      o.get_int("checkpoint-interval", c.checkpoint_interval));
+  c.stationary_method =
+      o.get_enum<StationaryMethod>("stationary-method", c.stationary_method);
+  c.omega = o.get_double("omega", c.omega);
+  return c;
+}
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  registry.register_solver("pcg", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new PcgSolver(c));
+  });
+  registry.register_solver("resilient-pcg", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new ResilientPcgSolver(c));
+  });
+  registry.register_solver("resilient-bicgstab", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new BicgstabSolver(c));
+  });
+  registry.register_solver("stationary", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new StationarySolver(c));
+  });
+}
+
+void register_builtin_preconditioners(PreconditionerRegistry& registry) {
+  // Factories delegate to the legacy precond/ factory (which predates the
+  // registry and remains the single place that knows the concrete types);
+  // the registry adds the canonical names, aliases, and key-listing errors.
+  const auto legacy = [](const char* legacy_name) {
+    return [legacy_name](const CsrMatrix& a, const Partition& partition) {
+      return make_preconditioner(legacy_name, a, partition);
+    };
+  };
+  registry.register_preconditioner("none", legacy("identity"));
+  registry.register_preconditioner("identity", legacy("identity"));
+  registry.register_preconditioner("jacobi", legacy("jacobi"));
+  registry.register_preconditioner("bjacobi", legacy("bjacobi"));
+  registry.register_preconditioner("ssor", legacy("ssor"));
+  registry.register_preconditioner("ic0-split", legacy("ic0"));
+  registry.register_preconditioner("ic0", legacy("ic0"));
+}
+
+}  // namespace rpcg::engine

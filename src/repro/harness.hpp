@@ -1,17 +1,23 @@
 // The experiment runner behind every table/figure bench: builds the
-// distributed problem once, then executes reference / undisturbed /
-// with-failure runs following the paper's protocol (failures in contiguous
-// ranks at "start" = rank 0 or "center" = rank N/2, injected at 20/50/80 %
-// of the reference iteration count, repeated with deterministic noise
-// seeds).
+// distributed problem once (as an engine::Problem bundle), then executes
+// reference / undisturbed / with-failure runs following the paper's
+// protocol (failures in contiguous ranks at "start" = rank 0 or "center" =
+// rank N/2, injected at 20/50/80 % of the reference iteration count,
+// repeated with deterministic noise seeds). All runs go through the
+// engine's SolverRegistry and return structured SolveReports.
 #pragma once
 
-#include <memory>
+#include <array>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/resilient_pcg.hpp"
+#include "engine/problem.hpp"
+#include "engine/solve_report.hpp"
+#include "engine/solver.hpp"
 #include "repro/matrices.hpp"
+#include "util/enum_names.hpp"
 #include "util/stats.hpp"
 
 namespace rpcg::repro {
@@ -32,49 +38,85 @@ enum class FailureLocation { kStart, kCenter };
 
 [[nodiscard]] std::string to_string(FailureLocation loc);
 
+}  // namespace rpcg::repro
+
+namespace rpcg {
+
+template <>
+struct EnumNames<repro::FailureLocation> {
+  static constexpr const char* context = "failure location";
+  static constexpr std::array<std::pair<repro::FailureLocation, const char*>,
+                              2>
+      table{{{repro::FailureLocation::kStart, "start"},
+             {repro::FailureLocation::kCenter, "center"}}};
+};
+
+}  // namespace rpcg
+
+namespace rpcg::repro {
+
 class ExperimentRunner {
  public:
-  /// The matrix reference must outlive the runner.
+  /// The matrix reference must outlive the runner (the Problem borrows it).
   ExperimentRunner(const CsrMatrix& a, ExperimentConfig cfg);
 
   /// Reference (non-resilient, non-redundant) PCG run.
-  ResilientPcgResult run_reference(std::uint64_t rep_seed);
+  engine::SolveReport run_reference(std::uint64_t rep_seed);
 
   /// ESR-capable run with phi redundant copies and no failures
   /// ("relative overhead undisturbed" column of Table 2).
-  ResilientPcgResult run_undisturbed(int phi, std::uint64_t rep_seed);
+  engine::SolveReport run_undisturbed(int phi, std::uint64_t rep_seed);
 
   /// ESR run with psi <= phi simultaneous failures at `progress` (fraction
   /// of the reference iteration count) in contiguous ranks at `loc`.
-  ResilientPcgResult run_with_failures(int phi, int psi, FailureLocation loc,
-                                       double progress, std::uint64_t rep_seed);
+  engine::SolveReport run_with_failures(int phi, int psi, FailureLocation loc,
+                                        double progress,
+                                        std::uint64_t rep_seed);
 
   /// Same failure protocol under a baseline method (checkpoint/restart or
   /// interpolation-restart); psi failures, no redundant copies.
-  ResilientPcgResult run_baseline(RecoveryMethod method, int psi,
-                                  FailureLocation loc, double progress,
-                                  int checkpoint_interval,
-                                  std::uint64_t rep_seed);
+  engine::SolveReport run_baseline(RecoveryMethod method, int psi,
+                                   FailureLocation loc, double progress,
+                                   int checkpoint_interval,
+                                   std::uint64_t rep_seed);
 
   /// Failure-free run under a baseline method (shows e.g. the checkpoint
   /// cost that accrues even without failures).
-  ResilientPcgResult run_baseline_failure_free(RecoveryMethod method,
-                                               int checkpoint_interval,
-                                               std::uint64_t rep_seed);
+  engine::SolveReport run_baseline_failure_free(RecoveryMethod method,
+                                                int checkpoint_interval,
+                                                std::uint64_t rep_seed);
 
   /// Run with an arbitrary schedule (overlapping-failure studies).
-  ResilientPcgResult run_with_schedule(int phi, const FailureSchedule& schedule,
-                                       std::uint64_t rep_seed);
+  engine::SolveReport run_with_schedule(int phi, const FailureSchedule& schedule,
+                                        std::uint64_t rep_seed);
+
+  /// Runs an arbitrary registry solver under the paper's noise protocol —
+  /// the escape hatch the extension benches use for BiCGSTAB/stationary.
+  engine::SolveReport run_solver(const std::string& solver_name,
+                                 const engine::SolverConfig& config,
+                                 const FailureSchedule& schedule,
+                                 std::uint64_t rep_seed);
 
   /// Noise-free reference iteration count (cached; used to place failures).
   [[nodiscard]] int reference_iterations();
 
-  [[nodiscard]] const Partition& partition() const { return partition_; }
-  [[nodiscard]] const DistVector& rhs() const { return b_; }
-  [[nodiscard]] const DistMatrix& matrix() const { return a_dist_; }
-  [[nodiscard]] const CsrMatrix& matrix_global() const { return *a_; }
+  /// The problem bundle every run executes against (matrix, partition,
+  /// preconditioner, RHS); mutable so callers can retune noise.
+  [[nodiscard]] engine::Problem& problem() { return problem_; }
+  [[nodiscard]] const engine::Problem& problem() const { return problem_; }
+
+  [[nodiscard]] const Partition& partition() const {
+    return problem_.partition();
+  }
+  [[nodiscard]] const DistVector& rhs() const { return problem_.rhs(); }
+  [[nodiscard]] const DistMatrix& matrix() const { return problem_.matrix(); }
+  [[nodiscard]] const CsrMatrix& matrix_global() const {
+    return problem_.matrix_global();
+  }
   [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
-  [[nodiscard]] const Preconditioner& preconditioner() const { return *m_; }
+  [[nodiscard]] const Preconditioner& preconditioner() const {
+    return problem_.preconditioner();
+  }
 
   /// First failing rank for the paper's two placements.
   [[nodiscard]] NodeId first_rank(FailureLocation loc) const {
@@ -84,17 +126,13 @@ class ExperimentRunner {
   /// Failure iteration for a progress fraction (paper: 20/50/80 %).
   [[nodiscard]] int failure_iteration(double progress);
 
- private:
-  [[nodiscard]] ResilientPcgResult run(const ResilientPcgOptions& opts,
-                                       const FailureSchedule& schedule,
-                                       std::uint64_t rep_seed);
+  /// The experiment-wide solver config (rtol, iteration cap, backup
+  /// strategy, reconstruction tolerance) before per-run adjustments.
+  [[nodiscard]] engine::SolverConfig base_config() const;
 
-  const CsrMatrix* a_;
+ private:
   ExperimentConfig cfg_;
-  Partition partition_;
-  DistMatrix a_dist_;
-  std::unique_ptr<Preconditioner> m_;
-  DistVector b_;
+  engine::Problem problem_;
   int reference_iterations_ = -1;
 };
 

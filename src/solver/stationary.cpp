@@ -10,19 +10,7 @@
 
 namespace rpcg {
 
-std::string to_string(StationaryMethod m) {
-  switch (m) {
-    case StationaryMethod::kJacobi:
-      return "jacobi";
-    case StationaryMethod::kGaussSeidel:
-      return "gauss-seidel";
-    case StationaryMethod::kSor:
-      return "sor";
-    case StationaryMethod::kSsor:
-      return "ssor";
-  }
-  return "unknown";
-}
+std::string to_string(StationaryMethod m) { return enum_to_string(m); }
 
 ResilientStationary::ResilientStationary(Cluster& cluster,
                                          const CsrMatrix& a_global,
@@ -270,12 +258,23 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
           for (const int id : retained_by_dst_[static_cast<std::size_t>(f)])
             retained_[static_cast<std::size_t>(id)].valid = false;
         }
+        if (opts_.events.on_failure_injected)
+          opts_.events.on_failure_injected(schedule.events()[idx]);
       }
+      const double t0 = cluster_.clock().in_phase(Phase::kRecovery);
       recover(merged, x);
       resid.set_zero();
-      ++res.recoveries;
       // Redo the halo exchange on the recovered iterate.
       execute_scatter(cluster_, a_->scatter_plan(), x, halos, Phase::kRecovery);
+      RecoveryRecord rec;
+      rec.iteration = j;
+      rec.nodes = merged;
+      rec.stats.psi = static_cast<int>(merged.size());
+      rec.stats.lost_rows = static_cast<Index>(part.rows_of_set(merged).size());
+      rec.stats.sim_seconds = cluster_.clock().in_phase(Phase::kRecovery) - t0;
+      res.recoveries.push_back(std::move(rec));
+      if (opts_.events.on_recovery_complete)
+        opts_.events.on_recovery_complete(res.recoveries.back());
     }
 
     // One sweep per node (embarrassingly parallel given the halo).
@@ -305,6 +304,14 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
     const double rnorm = std::sqrt(dot(cluster_, resid, resid, Phase::kIteration));
     res.iterations = j + 1;
     res.rel_residual = rnorm / rnorm0;
+    if (opts_.events.on_iteration) {
+      IterationSnapshot snap;
+      snap.iteration = res.iterations;
+      snap.rel_residual = res.rel_residual;
+      snap.x = &x;
+      snap.r = &resid;
+      opts_.events.on_iteration(snap);
+    }
     if (res.rel_residual <= opts_.rtol) {
       res.converged = true;
       break;

@@ -16,13 +16,16 @@
 #pragma once
 
 #include <array>
+#include <utility>
 #include <vector>
 
+#include "core/events.hpp"
 #include "core/failure_schedule.hpp"
 #include "core/redundancy.hpp"
 #include "sim/cluster.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sim/dist_vector.hpp"
+#include "util/enum_names.hpp"
 
 namespace rpcg {
 
@@ -31,6 +34,16 @@ enum class StationaryMethod {
   kGaussSeidel,  ///< per-node forward sweep (omega fixed at 1)
   kSor,          ///< per-node forward sweep with relaxation omega
   kSsor,         ///< per-node forward + backward sweep with omega
+};
+
+template <>
+struct EnumNames<StationaryMethod> {
+  static constexpr const char* context = "stationary method";
+  static constexpr std::array<std::pair<StationaryMethod, const char*>, 4>
+      table{{{StationaryMethod::kJacobi, "jacobi"},
+             {StationaryMethod::kGaussSeidel, "gauss-seidel"},
+             {StationaryMethod::kSor, "sor"},
+             {StationaryMethod::kSsor, "ssor"}}};
 };
 
 [[nodiscard]] std::string to_string(StationaryMethod m);
@@ -44,6 +57,9 @@ struct StationaryOptions {
   int phi = 0;
   BackupStrategy strategy = BackupStrategy::kPaperAlternating;
   std::uint64_t strategy_seed = 0;
+  /// Typed event hooks (core/events.hpp). on_iteration snapshots expose x
+  /// and the residual as r; z and p are null (no Krylov directions here).
+  SolverEvents events;
 };
 
 struct StationaryResult {
@@ -52,7 +68,8 @@ struct StationaryResult {
   double rel_residual = 0.0;
   double sim_time = 0.0;
   std::array<double, kNumPhases> sim_time_phase{};
-  int recoveries = 0;
+  /// One record per recovery (pure gathers: no local solve statistics).
+  std::vector<RecoveryRecord> recoveries;
 };
 
 class ResilientStationary {

@@ -1,0 +1,52 @@
+// Shared name<->value machinery for the library's config enums.
+//
+// Each configuration enum (RecoveryMethod, BackupStrategy, StationaryMethod,
+// repro::FailureLocation, ...) specializes `EnumNames` next to its
+// definition with a constexpr table of (value, name) pairs. `to_string` and
+// `from_string` then round-trip through the same single table, and an
+// unknown name is rejected with a message that lists every valid key — the
+// same UX as the engine registries' unknown-solver error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rpcg {
+
+/// Specialize with:
+///   static constexpr const char* context;   // e.g. "recovery method"
+///   static constexpr std::array<std::pair<E, const char*>, N> table;
+template <typename E>
+struct EnumNames;
+
+/// Comma-separated list of every valid name (for error messages).
+template <typename E>
+[[nodiscard]] std::string enum_name_list() {
+  std::string out;
+  for (const auto& [value, name] : EnumNames<E>::table) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// Table-driven to_string; enum values outside the table are a bug.
+template <typename E>
+[[nodiscard]] std::string enum_to_string(E v) {
+  for (const auto& [value, name] : EnumNames<E>::table)
+    if (value == v) return name;
+  throw std::logic_error(std::string(EnumNames<E>::context) +
+                         " value missing from its EnumNames table");
+}
+
+/// Parses a name back to the enum value; throws std::invalid_argument
+/// listing the valid keys on an unknown name.
+template <typename E>
+[[nodiscard]] E from_string(const std::string& s) {
+  for (const auto& [value, name] : EnumNames<E>::table)
+    if (s == name) return value;
+  throw std::invalid_argument("unknown " + std::string(EnumNames<E>::context) +
+                              " '" + s + "'; valid: " + enum_name_list<E>());
+}
+
+}  // namespace rpcg

@@ -1,0 +1,40 @@
+// Shared JSON string escaping for the repo's two JSON emitters (the
+// rpcg-bench-report/v1 writer in bench/run_all and the
+// rpcg-solve-report/v1 writer in engine/solve_report), so they cannot
+// drift apart on the same input.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rpcg {
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (as \u00XX).
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `s` as a complete JSON string literal, quotes included.
+[[nodiscard]] inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,68 @@
+// Owns-or-borrows handle — the single ownership model behind the engine's
+// `Problem` bundle and the solver convenience constructors.
+//
+// Several classes need to accept either a reference to a long-lived object
+// (a DistMatrix reused across many solves, a preconditioner shared by an
+// experiment harness) or to take ownership of a freshly built one. Before
+// this header existed, each of them re-implemented the same footgun-prone
+// pattern by hand: a nullable `std::unique_ptr` side-channel next to a raw
+// pointer that aliases either the unique_ptr or the borrowed reference.
+// MaybeOwned encapsulates that pattern once, with the aliasing invariant
+// maintained in exactly one place (including across moves).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace rpcg {
+
+template <typename T>
+class MaybeOwned {
+ public:
+  MaybeOwned() = default;
+
+  /// Borrows `ref`; the caller guarantees it outlives this handle.
+  [[nodiscard]] static MaybeOwned borrowed(const T& ref) {
+    MaybeOwned h;
+    h.ptr_ = &ref;
+    return h;
+  }
+
+  /// Takes ownership of `value`.
+  [[nodiscard]] static MaybeOwned owned(T&& value) {
+    MaybeOwned h;
+    h.storage_ = std::make_unique<const T>(std::move(value));
+    h.ptr_ = h.storage_.get();
+    return h;
+  }
+
+  /// Takes ownership of an already-allocated object (may be null).
+  [[nodiscard]] static MaybeOwned owned(std::unique_ptr<const T> p) {
+    MaybeOwned h;
+    h.storage_ = std::move(p);
+    h.ptr_ = h.storage_.get();
+    return h;
+  }
+  [[nodiscard]] static MaybeOwned owned(std::unique_ptr<T> p) {
+    return owned(std::unique_ptr<const T>(std::move(p)));
+  }
+
+  // Moves preserve the owned-vs-borrowed distinction; the unique_ptr keeps
+  // its heap address, so an owned handle's ptr_ stays valid after the move.
+  MaybeOwned(MaybeOwned&&) noexcept = default;
+  MaybeOwned& operator=(MaybeOwned&&) noexcept = default;
+  MaybeOwned(const MaybeOwned&) = delete;
+  MaybeOwned& operator=(const MaybeOwned&) = delete;
+
+  [[nodiscard]] explicit operator bool() const { return ptr_ != nullptr; }
+  [[nodiscard]] bool owns() const { return storage_ != nullptr; }
+  [[nodiscard]] const T& operator*() const { return *ptr_; }
+  [[nodiscard]] const T* operator->() const { return ptr_; }
+  [[nodiscard]] const T* get() const { return ptr_; }
+
+ private:
+  std::unique_ptr<const T> storage_;
+  const T* ptr_ = nullptr;
+};
+
+}  // namespace rpcg

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/enum_names.hpp"
+
 namespace rpcg {
 
 class Options {
@@ -27,6 +29,16 @@ class Options {
   /// Comma-separated integer list, e.g. "--phis=1,3,8".
   [[nodiscard]] std::vector<long> get_int_list(const std::string& key,
                                                std::vector<long> fallback) const;
+
+  /// Named enum value, e.g. --recovery=esr or --strategy=ring. E must have
+  /// an EnumNames table (see util/enum_names.hpp); an unknown name throws
+  /// std::invalid_argument listing the valid keys.
+  template <typename E>
+  [[nodiscard]] E get_enum(const std::string& key, E fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return from_string<E>(it->second);
+  }
 
  private:
   std::map<std::string, std::string> kv_;

@@ -1,0 +1,158 @@
+// The Problem bundle and its builder: explicit ownership (owned vs
+// borrowed components), validation, defaults, and cluster minting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/registry.hpp"
+#include "sparse/generators.hpp"
+#include "util/maybe_owned.hpp"
+
+namespace rpcg {
+namespace {
+
+TEST(MaybeOwned, OwnsAndBorrows) {
+  const CsrMatrix m = poisson2d_5pt(4, 4);
+  auto borrowed = MaybeOwned<CsrMatrix>::borrowed(m);
+  EXPECT_FALSE(borrowed.owns());
+  EXPECT_EQ(borrowed.get(), &m);
+
+  auto owned = MaybeOwned<CsrMatrix>::owned(poisson2d_5pt(4, 4));
+  EXPECT_TRUE(owned.owns());
+  EXPECT_EQ(owned->rows(), m.rows());
+
+  // Moves preserve the aliasing invariant.
+  const CsrMatrix* before = owned.get();
+  MaybeOwned<CsrMatrix> moved = std::move(owned);
+  EXPECT_TRUE(moved.owns());
+  EXPECT_EQ(moved.get(), before);
+}
+
+TEST(ProblemBuilder, OwnedMatrixSurvivesTheBuilder) {
+  // The matrix is a temporary moved into the bundle; if the Problem kept a
+  // dangling reference instead of ownership this solve would read freed
+  // memory (caught under ASan).
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(poisson2d_5pt(12, 12))
+                                .nodes(6)
+                                .preconditioner("jacobi")
+                                .build();
+  DistVector x = problem.make_x();
+  const auto rep =
+      engine::SolverRegistry::instance().create("pcg")->solve(problem, x);
+  EXPECT_TRUE(rep.converged);
+}
+
+TEST(ProblemBuilder, BorrowedMatrixIsShared) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  engine::Problem problem =
+      engine::ProblemBuilder().borrow_matrix(a).nodes(6).build();
+  EXPECT_EQ(&problem.matrix_global(), &a);
+}
+
+TEST(ProblemBuilder, BorrowedDistMatrixSuppliesThePartition) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  const Partition part = Partition::block_rows(a.rows(), 9);
+  const DistMatrix dist = DistMatrix::distribute(a, part);
+  engine::Problem problem = engine::ProblemBuilder()
+                                .borrow_matrix(a)
+                                .borrow_dist_matrix(dist)
+                                .build();
+  EXPECT_EQ(&problem.matrix(), &dist);
+  EXPECT_EQ(problem.partition().num_nodes(), 9);
+  DistVector x = problem.make_x();
+  EXPECT_TRUE(engine::SolverRegistry::instance()
+                  .create("pcg")
+                  ->solve(problem, x)
+                  .converged);
+}
+
+TEST(ProblemBuilder, MissingMatrixThrows) {
+  EXPECT_THROW((void)engine::ProblemBuilder().nodes(4).build(),
+               std::invalid_argument);
+}
+
+TEST(ProblemBuilder, MismatchedRhsThrows) {
+  EXPECT_THROW((void)engine::ProblemBuilder()
+                   .matrix(poisson2d_5pt(8, 8))
+                   .rhs(std::vector<double>(7, 1.0))
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine::ProblemBuilder()
+                   .matrix(poisson2d_5pt(8, 8))
+                   .rhs_from_solution(std::vector<double>(9, 1.0))
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(ProblemBuilder, DefaultRhsIsAtimesOnes) {
+  const CsrMatrix a = poisson2d_5pt(8, 8);
+  std::vector<double> expected(static_cast<std::size_t>(a.rows()));
+  {
+    const std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
+    a.spmv(ones, expected);
+  }
+  engine::Problem problem =
+      engine::ProblemBuilder().borrow_matrix(a).nodes(4).build();
+  EXPECT_EQ(problem.rhs().gather_global(), expected);
+}
+
+TEST(ProblemBuilder, RhsFromSolutionMatchesSpmv) {
+  const CsrMatrix a = poisson2d_5pt(8, 8);
+  std::vector<double> x_true(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < x_true.size(); ++i)
+    x_true[i] = static_cast<double>(i % 5) - 2.0;
+  std::vector<double> expected(x_true.size());
+  a.spmv(x_true, expected);
+  engine::Problem problem = engine::ProblemBuilder()
+                                .borrow_matrix(a)
+                                .nodes(4)
+                                .rhs_from_solution(x_true)
+                                .build();
+  EXPECT_EQ(problem.rhs().gather_global(), expected);
+}
+
+TEST(ProblemBuilder, OwnedPreconditionerIsUsedAndNamed) {
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(poisson2d_5pt(8, 8))
+                                .nodes(4)
+                                .preconditioner(make_identity_preconditioner())
+                                .build();
+  EXPECT_EQ(problem.preconditioner_name(), "identity");
+  EXPECT_EQ(problem.preconditioner().kind(), PrecondKind::kIdentity);
+}
+
+TEST(Problem, MintedClustersAreFreshAndNoisy) {
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(poisson2d_5pt(8, 8))
+                                .nodes(4)
+                                .build();
+  Cluster c1 = problem.make_cluster();
+  EXPECT_EQ(c1.alive_count(), 4);
+  EXPECT_EQ(c1.clock().total(), 0.0);
+  c1.fail_node(1);
+
+  // A failed node in one cluster never leaks into the next mint.
+  Cluster c2 = problem.make_cluster();
+  EXPECT_EQ(c2.alive_count(), 4);
+
+  // Noise settings change simulated timings deterministically per seed.
+  problem.set_noise(0.05, 7);
+  const auto solve = [&problem] {
+    DistVector x = problem.make_x();
+    return engine::SolverRegistry::instance()
+        .create("pcg")
+        ->solve(problem, x)
+        .sim_time;
+  };
+  const double t_seed7 = solve();
+  problem.set_noise(0.05, 8);
+  const double t_seed8 = solve();
+  problem.set_noise(0.05, 7);
+  const double t_seed7_again = solve();
+  EXPECT_NE(t_seed7, t_seed8);
+  EXPECT_EQ(t_seed7, t_seed7_again);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,83 @@
+// Name round-trips of the config enums (to_string -> from_string ->
+// identity), the valid-key-listing error UX, and the Options::get_enum
+// wiring used by benches and the CLI.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/redundancy.hpp"
+#include "core/resilient_pcg.hpp"
+#include "repro/harness.hpp"
+#include "solver/stationary.hpp"
+#include "util/options.hpp"
+
+namespace rpcg {
+namespace {
+
+template <typename E>
+void expect_round_trip() {
+  for (const auto& [value, name] : EnumNames<E>::table) {
+    EXPECT_EQ(to_string(value), name);
+    EXPECT_EQ(from_string<E>(name), value);
+  }
+}
+
+TEST(EnumRoundTrip, RecoveryMethod) { expect_round_trip<RecoveryMethod>(); }
+TEST(EnumRoundTrip, BackupStrategy) { expect_round_trip<BackupStrategy>(); }
+TEST(EnumRoundTrip, StationaryMethod) { expect_round_trip<StationaryMethod>(); }
+
+TEST(EnumRoundTrip, FailureLocation) {
+  using repro::FailureLocation;
+  for (const auto& [value, name] : EnumNames<FailureLocation>::table) {
+    EXPECT_EQ(repro::to_string(value), name);
+    EXPECT_EQ(from_string<FailureLocation>(name), value);
+  }
+}
+
+TEST(EnumRoundTrip, UnknownNameListsValidKeys) {
+  try {
+    (void)from_string<RecoveryMethod>("warp-drive");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp-drive"), std::string::npos);
+    EXPECT_NE(msg.find("recovery method"), std::string::npos);
+    EXPECT_NE(msg.find("none, esr, checkpoint-restart, interpolation-restart"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)from_string<BackupStrategy>(""), std::invalid_argument);
+  EXPECT_THROW((void)from_string<StationaryMethod>("Jacobi"),  // case matters
+               std::invalid_argument);
+}
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsGetEnum, ParsesAndFallsBack) {
+  const Options o = parse({"--recovery=esr", "--strategy", "ring",
+                           "--loc=center"});
+  EXPECT_EQ(o.get_enum<RecoveryMethod>("recovery", RecoveryMethod::kNone),
+            RecoveryMethod::kEsr);
+  EXPECT_EQ(o.get_enum<BackupStrategy>("strategy",
+                                       BackupStrategy::kPaperAlternating),
+            BackupStrategy::kRing);
+  EXPECT_EQ(o.get_enum<repro::FailureLocation>(
+                "loc", repro::FailureLocation::kStart),
+            repro::FailureLocation::kCenter);
+  // Missing key: fallback untouched.
+  EXPECT_EQ(o.get_enum<StationaryMethod>("method", StationaryMethod::kSsor),
+            StationaryMethod::kSsor);
+}
+
+TEST(OptionsGetEnum, RejectsUnknownValue) {
+  const Options o = parse({"--recovery=telepathy"});
+  EXPECT_THROW(
+      (void)o.get_enum<RecoveryMethod>("recovery", RecoveryMethod::kNone),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -1,0 +1,151 @@
+// SolveReport: field mapping from every per-family result struct and the
+// deterministic JSON serialization (golden test).
+#include <gtest/gtest.h>
+
+#include "engine/solve_report.hpp"
+
+namespace rpcg {
+namespace {
+
+engine::SolveReport sample_report() {
+  engine::SolveReport rep;
+  rep.solver = "resilient-pcg";
+  rep.preconditioner = "bjacobi";
+  rep.converged = true;
+  rep.iterations = 42;
+  rep.rel_residual = 5e-9;
+  rep.solver_residual_norm = 1.25e-6;
+  rep.true_residual_norm = 1.5e-6;
+  rep.delta_metric = -0.03125;
+  rep.sim_time = 1.5;
+  rep.sim_time_phase = {1.0, 0.25, 0.0, 0.25};
+  rep.wall_seconds = 0.125;
+  rep.redundancy_overhead_per_iteration = 0.0078125;
+  rep.checkpoints_written = 2;
+  rep.rolled_back_iterations = 7;
+  RecoveryRecord rec;
+  rec.iteration = 21;
+  rec.nodes = {3, 4};
+  rec.stats.psi = 2;
+  rec.stats.lost_rows = 36;
+  rec.stats.gathered_elements = 144;
+  rec.stats.local_solve_iterations = 17;
+  rec.stats.local_solve_rel_residual = 9.5e-15;
+  rec.stats.sim_seconds = 0.25;
+  rep.recoveries.push_back(rec);
+  return rep;
+}
+
+// Exact golden string: key order, indentation, and double formatting
+// (shortest round-trip) are part of the rpcg-solve-report/v1 contract.
+TEST(SolveReport, GoldenJson) {
+  const char* expected = R"({
+  "schema": "rpcg-solve-report/v1",
+  "solver": "resilient-pcg",
+  "preconditioner": "bjacobi",
+  "converged": true,
+  "iterations": 42,
+  "rel_residual": 5e-09,
+  "solver_residual_norm": 1.25e-06,
+  "true_residual_norm": 1.5e-06,
+  "delta_metric": -0.03125,
+  "sim_time": 1.5,
+  "sim_time_phase": {
+    "iteration": 1,
+    "redundancy": 0.25,
+    "checkpoint": 0,
+    "recovery": 0.25
+  },
+  "wall_seconds": 0.125,
+  "redundancy_overhead_per_iteration": 0.0078125,
+  "checkpoints_written": 2,
+  "rolled_back_iterations": 7,
+  "recoveries": [
+    {"iteration": 21, "nodes": [3, 4], "psi": 2, "lost_rows": 36, "gathered_elements": 144, "local_solve_iterations": 17, "local_solve_rel_residual": 9.5e-15, "sim_seconds": 0.25}
+  ]
+})";
+  EXPECT_EQ(sample_report().to_json(), expected);
+}
+
+TEST(SolveReport, IndentShiftsEveryLine) {
+  const std::string json = sample_report().to_json(4);
+  EXPECT_EQ(json.substr(0, 5), "    {");
+  EXPECT_NE(json.find("\n      \"schema\""), std::string::npos);
+}
+
+TEST(SolveReport, EmptyReportSerializesWithEmptyRecoveries) {
+  const std::string json = engine::SolveReport{}.to_json();
+  EXPECT_NE(json.find("\"recoveries\": [\n  ]"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\": false"), std::string::npos);
+}
+
+TEST(SolveReport, MakeReportFromResilientPcgResultCopiesEverything) {
+  ResilientPcgResult r;
+  r.converged = true;
+  r.iterations = 10;
+  r.rel_residual = 1e-9;
+  r.solver_residual_norm = 2e-6;
+  r.true_residual_norm = 3e-6;
+  r.delta_metric = -0.25;
+  r.sim_time = 2.0;
+  r.sim_time_phase = {1.0, 0.5, 0.25, 0.25};
+  r.wall_seconds = 0.5;
+  r.checkpoints_written = 3;
+  r.rolled_back_iterations = 12;
+  r.recoveries.push_back({4, {1}, {}});
+
+  const auto rep = engine::make_report("resilient-pcg", "ssor", r);
+  EXPECT_EQ(rep.solver, "resilient-pcg");
+  EXPECT_EQ(rep.preconditioner, "ssor");
+  EXPECT_EQ(rep.converged, r.converged);
+  EXPECT_EQ(rep.iterations, r.iterations);
+  EXPECT_EQ(rep.rel_residual, r.rel_residual);
+  EXPECT_EQ(rep.solver_residual_norm, r.solver_residual_norm);
+  EXPECT_EQ(rep.true_residual_norm, r.true_residual_norm);
+  EXPECT_EQ(rep.delta_metric, r.delta_metric);
+  EXPECT_EQ(rep.sim_time, r.sim_time);
+  EXPECT_EQ(rep.sim_time_phase, r.sim_time_phase);
+  EXPECT_EQ(rep.wall_seconds, r.wall_seconds);
+  EXPECT_EQ(rep.checkpoints_written, r.checkpoints_written);
+  EXPECT_EQ(rep.rolled_back_iterations, r.rolled_back_iterations);
+  ASSERT_EQ(rep.recoveries.size(), 1u);
+  EXPECT_EQ(rep.recoveries[0].iteration, 4);
+  EXPECT_EQ(rep.redundancy_sim_time(), 0.5);
+  EXPECT_EQ(rep.recovery_sim_time(), 0.25);
+}
+
+TEST(SolveReport, MakeReportFromOtherFamilies) {
+  PcgResult pcg;
+  pcg.converged = true;
+  pcg.iterations = 5;
+  pcg.delta_metric = 0.5;
+  const auto rep_pcg = engine::make_report("pcg", "none", pcg);
+  EXPECT_EQ(rep_pcg.iterations, 5);
+  EXPECT_EQ(rep_pcg.delta_metric, 0.5);
+  EXPECT_TRUE(rep_pcg.recoveries.empty());
+
+  BicgstabResult bi;
+  bi.iterations = 6;
+  bi.recoveries.push_back({2, {0}, {}});
+  const auto rep_bi = engine::make_report("resilient-bicgstab", "bjacobi", bi);
+  EXPECT_EQ(rep_bi.iterations, 6);
+  ASSERT_EQ(rep_bi.recoveries.size(), 1u);
+
+  StationaryResult st;
+  st.iterations = 7;
+  st.recoveries.push_back({3, {1, 2}, {}});
+  const auto rep_st = engine::make_report("stationary", "none", st);
+  EXPECT_EQ(rep_st.iterations, 7);
+  ASSERT_EQ(rep_st.recoveries.size(), 1u);
+  EXPECT_EQ(rep_st.recoveries[0].nodes, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(SolveReport, JsonEscapesSolverNames) {
+  engine::SolveReport rep;
+  rep.solver = "weird\"name\\x";
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"solver\": \"weird\\\"name\\\\x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpcg

@@ -112,7 +112,7 @@ TEST_P(StationaryRecovery, FailureRecoveryPreservesTrajectory) {
     const auto res = solver.solve(
         p.b, x, FailureSchedule::contiguous(ref_iters / 2, 3, 2));
     ASSERT_TRUE(res.converged);
-    EXPECT_EQ(res.recoveries, 1);
+    EXPECT_EQ(res.recoveries.size(), 1u);
     EXPECT_EQ(res.iterations, ref_iters);           // identical trajectory
     EXPECT_EQ(x.gather_global(), x_ref_run);        // bitwise identical
     EXPECT_GT(res.sim_time_phase[static_cast<int>(Phase::kRecovery)], 0.0);
@@ -166,7 +166,7 @@ TEST(Stationary, SequentialFailures) {
   schedule.add({9, {6}, false});
   const auto res = solver.solve(p.b, x, schedule);
   ASSERT_TRUE(res.converged);
-  EXPECT_EQ(res.recoveries, 2);
+  EXPECT_EQ(res.recoveries.size(), 2u);
   EXPECT_LT(max_diff(x.gather_global(), p.x_ref), 1e-5);
 }
 
