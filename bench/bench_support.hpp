@@ -12,6 +12,8 @@
 //   --matrices L   comma-separated matrix indices, e.g. 1,5,8 (default all)
 //   --precond P    preconditioner registry key            (default bjacobi)
 //   --strategy S   backup strategy name                   (default paper-alternating)
+//   --exec E       host execution policy: sequential | threaded (default sequential)
+//   --workers N    worker cap for --exec=threaded; 0 = hardware concurrency
 #pragma once
 
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include "repro/matrices.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg::bench {
 
@@ -34,6 +37,7 @@ struct CommonArgs {
   std::vector<long> matrices{1, 2, 3, 4, 5, 6, 7, 8};
   std::string precond = "bjacobi";
   BackupStrategy strategy = BackupStrategy::kPaperAlternating;
+  ExecutionPolicy exec;
 
   static CommonArgs parse(int argc, char** argv) {
     const Options o(argc, argv);
@@ -45,6 +49,8 @@ struct CommonArgs {
     a.matrices = o.get_int_list("matrices", a.matrices);
     a.precond = o.get_string("precond", a.precond);
     a.strategy = o.get_enum<BackupStrategy>("strategy", a.strategy);
+    a.exec.mode = o.get_enum<ExecMode>("exec", a.exec.mode);
+    a.exec.workers = static_cast<int>(o.get_int("workers", a.exec.workers));
     return a;
   }
 
@@ -55,6 +61,7 @@ struct CommonArgs {
     cfg.noise_cv = noise;
     cfg.precond = precond;
     cfg.strategy = strategy;
+    cfg.exec = exec;
     return cfg;
   }
 };

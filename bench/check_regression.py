@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate for rpcg-bench-report/v1 snapshots.
+
+Compares two run_all reports (e.g. the committed BENCH_PR<N-1>.json baseline
+against the candidate BENCH_PR<N>.json) and fails when any bench present in
+BOTH reports regressed by more than --max-regression percent in wall time.
+Benches that appear in only one report are listed but never fail the gate
+(the suite is allowed to grow), and failed benches (exit_code != 0) in the
+candidate always fail it.
+
+Usage:
+  bench/check_regression.py BASELINE.json CANDIDATE.json [--max-regression 15]
+
+Exit code 0 = gate passed, 1 = regression or failed bench, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if report.get("schema") != "rpcg-bench-report/v1":
+        print(f"check_regression: {path} is not an rpcg-bench-report/v1",
+              file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regression", type=float, default=15.0,
+                        help="max allowed wall-time regression in percent "
+                             "(default: 15)")
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    base = {b["name"]: b for b in baseline["benches"]}
+    cand = {b["name"]: b for b in candidate["benches"]}
+
+    failures = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  NEW      {name}: {cand[name]['wall_seconds']:.2f}s "
+                  "(no baseline, not gated)")
+            continue
+        if name not in cand:
+            print(f"  DROPPED  {name} (baseline only, not gated)")
+            continue
+        b, c = base[name], cand[name]
+        if c["exit_code"] != 0:
+            failures.append(f"{name} failed (exit code {c['exit_code']})")
+            print(f"  FAILED   {name}: exit code {c['exit_code']}")
+            continue
+        if b["exit_code"] != 0 or b["wall_seconds"] <= 0.0:
+            # A failed/zero-time baseline entry is no baseline at all (e.g.
+            # exit 127 from a missing binary); report it, don't divide by it.
+            print(f"  NOBASE   {name}: baseline invalid (exit "
+                  f"{b['exit_code']}, {b['wall_seconds']:.2f}s); not gated")
+            continue
+        delta = 100.0 * (c["wall_seconds"] - b["wall_seconds"]) / b["wall_seconds"]
+        verdict = "REGRESSED" if delta > args.max_regression else "ok"
+        print(f"  {verdict:8s} {name}: {b['wall_seconds']:.2f}s -> "
+              f"{c['wall_seconds']:.2f}s ({delta:+.1f}%)")
+        if delta > args.max_regression:
+            failures.append(f"{name} regressed {delta:+.1f}% "
+                            f"(limit {args.max_regression:.0f}%)")
+
+    total_b = baseline.get("total_wall_seconds", 0.0)
+    total_c = candidate.get("total_wall_seconds", 0.0)
+    if total_b > 0:
+        print(f"  total: {total_b:.2f}s -> {total_c:.2f}s "
+              f"({100.0 * (total_c - total_b) / total_b:+.1f}%)")
+
+    if failures:
+        print("check_regression: GATE FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("check_regression: gate passed "
+          f"(max regression {args.max_regression:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,12 +3,16 @@
 // accumulated from one command:
 //
 //   ./run_all [--out report.json] [--bin-dir DIR] [--only table1_matrices,...]
-//             [--scale S] [--nodes N] [--reps R] [--keep-output]
+//             [--scale S] [--nodes N] [--reps R] [--jobs J] [--keep-output]
 //
 // Each bench runs as a child process with the shared --scale/--nodes/--reps
 // flags (see bench_support.hpp); the report records the command line, exit
 // code, and wall-clock seconds per bench. Output of the children is
-// suppressed unless --keep-output is given.
+// suppressed unless --keep-output is given. With --jobs J > 1 the
+// independent bench processes fan out over a worker pool (results are
+// collected in suite order regardless, so the report is deterministic; the
+// per-bench wall times of concurrent runs contend for the same cores).
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +23,7 @@
 
 #include "util/json.hpp"
 #include "util/options.hpp"
+#include "util/thread_pool.hpp"
 
 #ifndef _WIN32
 #include <sys/wait.h>
@@ -89,10 +94,16 @@ int main(int argc, char** argv) {
   const double scale = opts.get_double("scale", 32.0);
   const long nodes = opts.get_int("nodes", 64);
   const long reps = opts.get_int("reps", 1);
+  const int jobs = static_cast<int>(opts.get_int("jobs", 1));
+  if (jobs < 1) {
+    std::fprintf(stderr, "run_all: --jobs must be >= 1\n");
+    return 1;
+  }
   // The remaining shared bench flags (see bench_support.hpp) are forwarded
   // verbatim when given, so the recorded commands match the request.
   std::string passthrough;
-  for (const char* flag : {"noise", "matrices", "precond", "strategy"}) {
+  for (const char* flag :
+       {"noise", "matrices", "precond", "strategy", "exec", "workers"}) {
     if (!opts.has(flag)) continue;
     const std::string value = opts.get_string(flag, "");
     if (!safe_flag_value(value)) {
@@ -120,10 +131,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<BenchResult> results;
-  int failures = 0;
-  const auto suite_start = Clock::now();
-  for (const std::string& name : selected) {
+  // Pre-resolve every bench into its result slot so parallel execution can
+  // fill the vector by index: the report order is the suite order no matter
+  // how the child processes interleave.
+  std::vector<BenchResult> results(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::string& name = selected[i];
 #ifdef _WIN32
     const std::string exe_name = name + ".exe";
 #else
@@ -131,10 +144,10 @@ int main(int argc, char** argv) {
 #endif
     const std::string exe =
         (std::filesystem::path(bin_dir) / exe_name).string();
-    BenchResult r;
+    BenchResult& r = results[i];
     r.name = name;
     // Quoted so bin dirs containing spaces survive the shell's word split.
-    r.command = "\"" + exe + "\" --scale=" + std::to_string(scale) +
+    r.command = "\"" + exe + "\" --scale=" + rpcg::format_compact(scale) +
                 " --nodes=" + std::to_string(nodes) +
                 " --reps=" + std::to_string(reps) + passthrough;
     if (!std::filesystem::exists(exe)) {
@@ -143,10 +156,12 @@ int main(int argc, char** argv) {
                    "--only, or target missing from bench/CMakeLists.txt?)\n",
                    name.c_str(), exe.c_str());
       r.exit_code = 127;
-      ++failures;
-      results.push_back(std::move(r));
-      continue;
     }
+  }
+
+  const auto run_one = [&](std::size_t i) {
+    BenchResult& r = results[i];
+    if (r.exit_code == 127) return;  // binary missing, reported above
 #ifdef _WIN32
     const char* null_device = "NUL";
 #else
@@ -155,16 +170,35 @@ int main(int argc, char** argv) {
     const std::string cmd =
         keep_output ? r.command
                     : r.command + " > " + null_device + " 2>&1";
-    std::fprintf(stderr, "run_all: %s ...", name.c_str());
-    std::fflush(stderr);
+    std::fprintf(stderr, "run_all: %s ...\n", r.name.c_str());
     const auto start = Clock::now();
     r.exit_code = run_command(cmd);
     r.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    std::fprintf(stderr, " %s (%.2fs)\n", r.exit_code == 0 ? "ok" : "FAILED",
-                 r.wall_seconds);
-    if (r.exit_code != 0) ++failures;
-    results.push_back(std::move(r));
+    std::fprintf(stderr, "run_all: %s %s (%.2fs)\n", r.name.c_str(),
+                 r.exit_code == 0 ? "ok" : "FAILED", r.wall_seconds);
+  };
+
+  const auto suite_start = Clock::now();
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < results.size(); ++i) run_one(i);
+  } else {
+    // Independent bench processes fan out over a private pool of exactly
+    // `jobs` workers (the workers block in system(), so the shared compute
+    // pool and its size cap are the wrong tool). Benches are claimed
+    // dynamically — one long bench (table2 at scale 8) must not serialize
+    // behind a statically co-chunked neighbor.
+    rpcg::ThreadPool pool(jobs);
+    std::atomic<std::size_t> next{0};
+    pool.run_chunked(results.size(), jobs,
+                     [&run_one, &next, &results](std::size_t, std::size_t) {
+                       for (std::size_t i;
+                            (i = next.fetch_add(1)) < results.size();)
+                         run_one(i);
+                     });
   }
+  int failures = 0;
+  for (const BenchResult& r : results)
+    if (r.exit_code != 0) ++failures;
   const double total_seconds =
       std::chrono::duration<double>(Clock::now() - suite_start).count();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/factorization_cache.hpp"
 #include "solver/seq_pcg.hpp"
 #include "sparse/ic0.hpp"
 #include "sparse/ldlt.hpp"
@@ -57,17 +58,41 @@ LocalSolveOutcome esr_solve_lost_x(Cluster& cluster, const CsrMatrix& a_global,
   // operations), so compute parallelizes psi-way and each iteration incurs
   // reduction latency.
   int psi = 0;
+  std::vector<NodeId> failed_nodes;
   for (std::size_t k = 0; k < rows.size();) {
     const NodeId f = part.owner(rows[k]);
+    failed_nodes.push_back(f);
     k += static_cast<std::size_t>(part.size(f));
     ++psi;
   }
 
-  const CsrMatrix a_ff = a_global.submatrix(rows, rows);
+  // A_{IF,IF} and its factorization are pure functions of (A, failed set);
+  // reuse them through the cache when one is configured. The simulated
+  // factorization cost is charged below in both cases.
+  const auto build_entry = [&]() {
+    FactorizationCache::Entry e;
+    e.a_ff = a_global.submatrix(rows, rows);
+    if (opts.exact_local_solve) {
+      e.ldlt = ReorderedLdlt::factor(e.a_ff);
+    } else {
+      e.ic0 = Ic0::factor(e.a_ff);
+    }
+    return e;
+  };
+  FactorizationCache::EntryPtr entry;
+  if (opts.cache != nullptr) {
+    entry = opts.cache->get_or_build(
+        opts.exact_local_solve ? "esr/ldlt" : "esr/ic0", &a_global,
+        failed_nodes, build_entry);
+  } else {
+    entry = std::make_shared<const FactorizationCache::Entry>(build_entry());
+  }
+  const CsrMatrix& a_ff = entry->a_ff;
+
   LocalSolveOutcome outcome;
   std::fill(x_f.begin(), x_f.end(), 0.0);
   if (opts.exact_local_solve) {
-    const auto fact = SparseLdlt::factor(a_ff);
+    const auto& fact = entry->ldlt;
     RPCG_REQUIRE(fact.has_value(), "A_{IF,IF} must be positive definite");
     fact->solve(w, x_f);
     outcome.iterations = 1;
@@ -75,7 +100,7 @@ LocalSolveOutcome esr_solve_lost_x(Cluster& cluster, const CsrMatrix& a_global,
     flops += fact->factor_flops() + fact->solve_flops();
   } else {
     // IC(0)-preconditioned CG, the paper's reconstruction solver.
-    const auto ic = Ic0::factor(a_ff);
+    const auto& ic = entry->ic0;
     SeqPcgOptions sopts;
     sopts.rtol = opts.local_rtol;
     sopts.max_iterations = opts.local_max_iterations;

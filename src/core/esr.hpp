@@ -24,6 +24,8 @@
 
 namespace rpcg {
 
+class FactorizationCache;
+
 struct EsrOptions {
   /// Relative residual reduction for the local reconstruction system
   /// (paper: 1e14 reduction -> rtol 1e-14).
@@ -32,6 +34,11 @@ struct EsrOptions {
   /// Solve the local system exactly with sparse LDLᵀ instead of IC(0)-PCG
   /// (used by tests and the accuracy ablation).
   bool exact_local_solve = false;
+  /// Optional non-owning host-side cache: A_{IF,IF} extraction and its
+  /// IC(0)/LDLᵀ factorization are reused across reconstructions of the same
+  /// failed node set. Simulated costs are charged either way, so results are
+  /// byte-identical with and without it (see core/factorization_cache.hpp).
+  FactorizationCache* cache = nullptr;
 };
 
 struct RecoveryStats {

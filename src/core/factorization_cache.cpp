@@ -1,0 +1,68 @@
+#include "core/factorization_cache.hpp"
+
+#include <algorithm>
+
+namespace rpcg {
+
+FactorizationCache::EntryPtr FactorizationCache::get_or_build(
+    std::string_view tag, const void* matrix_id, std::span<const NodeId> nodes,
+    const std::function<Entry()>& build) {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  Key key{std::string(tag), matrix_id, std::move(sorted)};
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: factorization can be expensive and must not
+  // serialize unrelated consumers. A racing builder of the same key wastes
+  // work but both produce identical entries (pure function of the key).
+  EntryPtr entry = std::make_shared<const Entry>(build());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(std::move(key), entry);
+  return inserted ? entry : it->second;
+}
+
+std::size_t FactorizationCache::invalidate_overlapping(
+    std::span<const NodeId> nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::vector<NodeId>& key_nodes = std::get<2>(it->first);
+    const bool overlaps =
+        std::any_of(nodes.begin(), nodes.end(), [&key_nodes](NodeId n) {
+          return std::binary_search(key_nodes.begin(), key_nodes.end(), n);
+        });
+    if (overlaps) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated += dropped;
+  return dropped;
+}
+
+void FactorizationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidated += entries_.size();
+  entries_.clear();
+}
+
+FactorizationCache::Stats FactorizationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace rpcg

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/checkpoint.hpp"
+#include "core/factorization_cache.hpp"
 #include "core/interpolation_restart.hpp"
 #include "sim/collectives.hpp"
 #include "util/check.hpp"
@@ -143,8 +144,12 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
             if (!first && ev.during_recovery) {
               // Overlapping failure: the reconstruction of `merged` was
               // underway. Charge the work performed so far (the gather, its
-              // dominant communication part) and restart with the union.
+              // dominant communication part), discard its cached
+              // factorizations — the surviving block structure changed under
+              // them — and restart with the union.
               (void)store_.gather_lost(cluster_, part.rows_of_set(merged));
+              if (opts_.esr.cache != nullptr)
+                (void)opts_.esr.cache->invalidate_overlapping(merged);
             }
             inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
             if (opts_.events.on_failure_injected)

@@ -10,6 +10,7 @@ namespace rpcg::engine {
 Cluster Problem::make_cluster() const {
   Cluster cluster(partition_, comm_);
   if (noise_cv_ > 0.0) cluster.clock().set_noise(noise_cv_, noise_seed_);
+  cluster.set_execution_policy(exec_);
   return cluster;
 }
 

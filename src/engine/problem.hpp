@@ -24,12 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "core/factorization_cache.hpp"
 #include "precond/preconditioner.hpp"
 #include "sim/cluster.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sim/dist_vector.hpp"
 #include "sparse/csr.hpp"
 #include "util/maybe_owned.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg::engine {
 
@@ -56,6 +58,21 @@ class Problem {
   [[nodiscard]] double noise_cv() const { return noise_cv_; }
   [[nodiscard]] std::uint64_t noise_seed() const { return noise_seed_; }
 
+  /// Execution policy stamped onto clusters minted after this call
+  /// (sequential by default; SolverConfig::exec overrides per solve).
+  void set_execution_policy(const ExecutionPolicy& policy) { exec_ = policy; }
+  [[nodiscard]] const ExecutionPolicy& execution_policy() const {
+    return exec_;
+  }
+
+  /// The problem-lifetime factorization cache: ESR reconstruction setups
+  /// (submatrix + IC(0)/LDLᵀ) reused across solves and harness reps. The
+  /// engine's solvers wire it into EsrOptions unless the SolverConfig
+  /// disables caching.
+  [[nodiscard]] FactorizationCache& factorization_cache() const {
+    return *cache_;
+  }
+
   /// Fresh simulated cluster: all nodes alive, clock at zero, current noise
   /// settings applied. Every solve of a registry solver starts from one.
   [[nodiscard]] Cluster make_cluster() const;
@@ -79,6 +96,10 @@ class Problem {
   CommParams comm_{};
   double noise_cv_ = 0.0;
   std::uint64_t noise_seed_ = 0;
+  ExecutionPolicy exec_;
+  // unique_ptr so the bundle stays movable (the cache holds a mutex).
+  std::unique_ptr<FactorizationCache> cache_ =
+      std::make_unique<FactorizationCache>();
 };
 
 /// Fluent builder. Exactly one matrix source is required; everything else

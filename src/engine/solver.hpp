@@ -23,6 +23,7 @@
 #include "engine/solve_report.hpp"
 #include "solver/stationary.hpp"    // StationaryMethod
 #include "util/options.hpp"
+#include "util/thread_pool.hpp"     // ExecutionPolicy
 
 namespace rpcg::engine {
 
@@ -50,13 +51,26 @@ struct SolverConfig {
   StationaryMethod stationary_method = StationaryMethod::kJacobi;
   double omega = 1.0;
 
+  /// Host-side execution policy for the minted cluster's per-node loops
+  /// ("sequential" | "threaded"; workers = 0 means hardware concurrency).
+  /// Layered over the Problem's default: mode overrides when "threaded",
+  /// workers overrides when nonzero (so a worker cap alone does not force a
+  /// threaded Problem back to sequential). Threaded runs are bit-for-bit
+  /// identical to sequential ones.
+  ExecutionPolicy exec;
+  /// Reuse ESR factorizations across reconstructions through the Problem's
+  /// FactorizationCache. Purely a host-side wall-clock optimization —
+  /// reports are byte-identical either way.
+  bool factorization_cache = true;
+
   /// Typed event hooks, forwarded to the underlying engine. The reference
   /// "pcg" solver supports no hooks (it exists as the bit-for-bit baseline).
   SolverEvents events;
 
   /// Reads --rtol, --max-iterations, --recovery, --phi, --strategy,
   /// --strategy-seed, --local-rtol, --checkpoint-interval,
-  /// --stationary-method, --omega. Unknown enum names throw
+  /// --stationary-method, --omega, --exec, --workers,
+  /// --factorization-cache. Unknown enum names throw
   /// std::invalid_argument listing the valid keys.
   [[nodiscard]] static SolverConfig from_options(const Options& o);
 };

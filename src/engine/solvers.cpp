@@ -17,6 +17,27 @@ namespace rpcg::engine {
 
 namespace {
 
+/// Fresh cluster with the SolverConfig's execution policy layered over the
+/// Problem's default: the config can switch threading on and/or cap the
+/// workers for this solve (each field overrides only when set away from its
+/// default), so "--workers 4" alone caps a threaded Problem default instead
+/// of silently forcing it sequential. Switching threading *off* against a
+/// threaded Problem default is the Problem's own knob
+/// (set_execution_policy), not the config's.
+Cluster make_cluster(const Problem& problem, const SolverConfig& config) {
+  Cluster cluster = problem.make_cluster();
+  ExecutionPolicy policy = cluster.execution_policy();
+  if (config.exec.mode != ExecMode::kSequential) policy.mode = config.exec.mode;
+  if (config.exec.workers != 0) policy.workers = config.exec.workers;
+  cluster.set_execution_policy(policy);
+  return cluster;
+}
+
+/// The Problem's factorization cache, or nullptr when the config opts out.
+FactorizationCache* esr_cache(Problem& problem, const SolverConfig& config) {
+  return config.factorization_cache ? &problem.factorization_cache() : nullptr;
+}
+
 /// The reference (non-resilient) PCG, wrapping the legacy pcg_solve free
 /// function unchanged — it is the bit-for-bit baseline the resilient
 /// engine is tested against, so it must stay exactly that code path.
@@ -31,7 +52,7 @@ class PcgSolver final : public Solver {
     RPCG_CHECK(schedule.empty(),
                "the reference 'pcg' solver tolerates no failures; use "
                "'resilient-pcg'");
-    Cluster cluster = problem.make_cluster();
+    Cluster cluster = make_cluster(problem, config_);
     PcgOptions opts;
     opts.rtol = config_.rtol;
     opts.max_iterations = config_.max_iterations;
@@ -53,7 +74,7 @@ class ResilientPcgSolver final : public Solver {
 
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
-    Cluster cluster = problem.make_cluster();
+    Cluster cluster = make_cluster(problem, config_);
     ResilientPcgOptions opts;
     opts.pcg.rtol = config_.rtol;
     opts.pcg.max_iterations = config_.max_iterations;
@@ -62,6 +83,7 @@ class ResilientPcgSolver final : public Solver {
     opts.strategy = config_.strategy;
     opts.strategy_seed = config_.strategy_seed;
     opts.esr = config_.esr;
+    opts.esr.cache = esr_cache(problem, config_);
     opts.checkpoint_interval = config_.checkpoint_interval;
     opts.events = config_.events;
     ResilientPcg engine(cluster, problem.matrix_global(), problem.matrix(),
@@ -87,7 +109,7 @@ class BicgstabSolver final : public Solver {
 
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
-    Cluster cluster = problem.make_cluster();
+    Cluster cluster = make_cluster(problem, config_);
     BicgstabOptions opts;
     opts.rtol = config_.rtol;
     opts.max_iterations = config_.max_iterations;
@@ -95,6 +117,7 @@ class BicgstabSolver final : public Solver {
     opts.strategy = config_.strategy;
     opts.strategy_seed = config_.strategy_seed;
     opts.esr = config_.esr;
+    opts.esr.cache = esr_cache(problem, config_);
     opts.events = config_.events;
     ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
                              problem.preconditioner(), opts);
@@ -114,7 +137,7 @@ class StationarySolver final : public Solver {
 
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
-    Cluster cluster = problem.make_cluster();
+    Cluster cluster = make_cluster(problem, config_);
     StationaryOptions opts;
     opts.method = config_.stationary_method;
     opts.omega = config_.omega;
@@ -155,6 +178,10 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   c.stationary_method =
       o.get_enum<StationaryMethod>("stationary-method", c.stationary_method);
   c.omega = o.get_double("omega", c.omega);
+  c.exec.mode = o.get_enum<ExecMode>("exec", c.exec.mode);
+  c.exec.workers = static_cast<int>(o.get_int("workers", c.exec.workers));
+  c.factorization_cache =
+      o.get_bool("factorization-cache", c.factorization_cache);
   return c;
 }
 

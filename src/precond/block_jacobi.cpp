@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -40,7 +41,7 @@ BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
       }
       block = CsrMatrix(bn, bn, std::move(rp), std::move(ci), std::move(v));
     }
-    auto fact = SparseLdlt::factor(block);
+    auto fact = ReorderedLdlt::factor(block);
     RPCG_CHECK(fact.has_value(),
                "block Jacobi block is not positive definite (node " +
                    std::to_string(i) + ")");
@@ -53,12 +54,11 @@ BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
 void BlockJacobiPreconditioner::apply(Cluster& cluster, const DistVector& r,
                                       DistVector& z, Phase phase) const {
   const int nn = cluster.num_nodes();
-#ifdef RPCG_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (NodeId i = 0; i < nn; ++i) {
-    factor_[static_cast<std::size_t>(i)].solve(r.block(i), z.block(i));
-  }
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto node = static_cast<NodeId>(i);
+                      factor_[i].solve(r.block(node), z.block(node));
+                    });
   cluster.charge_compute(phase, apply_flops_);
 }
 

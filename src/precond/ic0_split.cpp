@@ -1,6 +1,7 @@
 #include "precond/ic0_split.hpp"
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -24,12 +25,11 @@ Ic0SplitPreconditioner::Ic0SplitPreconditioner(const CsrMatrix& a,
 void Ic0SplitPreconditioner::apply(Cluster& cluster, const DistVector& r,
                                    DistVector& z, Phase phase) const {
   const int nn = cluster.num_nodes();
-#ifdef RPCG_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (NodeId i = 0; i < nn; ++i) {
-    factor_[static_cast<std::size_t>(i)].solve(r.block(i), z.block(i));
-  }
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto node = static_cast<NodeId>(i);
+                      factor_[i].solve(r.block(node), z.block(node));
+                    });
   cluster.charge_compute(phase, apply_flops_);
 }
 

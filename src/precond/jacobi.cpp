@@ -92,9 +92,23 @@ void ExplicitPreconditioner::esr_recover_residual(
   }
   cluster.clock().advance(Phase::kRecovery, max_holder_cost);
 
-  // Solve P_{If,If} r_{If} = v exactly (line 6). P_{If,If} is SPD.
-  const CsrMatrix p_ff = p_global_.submatrix(rows, rows);
-  const auto fact = SparseLdlt::factor(p_ff);
+  // Solve P_{If,If} r_{If} = v exactly (line 6). P_{If,If} is SPD. The
+  // extraction + factorization is memoized per failed node set; the
+  // simulated factorization cost is charged on hits too.
+  std::vector<NodeId> failed_nodes;
+  for (std::size_t k = 0; k < rows.size();) {
+    const NodeId f = part.owner(rows[k]);
+    failed_nodes.push_back(f);
+    k += static_cast<std::size_t>(part.size(f));
+  }
+  const FactorizationCache::EntryPtr entry = cache_.get_or_build(
+      "explicit-p/ldlt", &p_global_, failed_nodes, [&]() {
+        FactorizationCache::Entry e;
+        e.a_ff = p_global_.submatrix(rows, rows);
+        e.ldlt = ReorderedLdlt::factor(e.a_ff);
+        return e;
+      });
+  const auto& fact = entry->ldlt;
   RPCG_REQUIRE(fact.has_value(), "P_{If,If} must be positive definite");
   fact->solve(v, r_f);
   cluster.clock().advance(

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/factorization_cache.hpp"
 #include "precond/preconditioner.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sparse/csr.hpp"
@@ -51,6 +52,14 @@ class ExplicitPreconditioner final : public Preconditioner {
   CsrMatrix p_global_;
   DistMatrix p_dist_;
   mutable std::vector<std::vector<double>> halos_;  // apply() workspace
+  // P_{IF,IF} factorizations reused across recoveries of the same failed
+  // set (the preconditioner outlives individual solves, so the cache spans
+  // harness reps; simulated costs are charged on hits too). Unlike the ESR
+  // cache this one is private and always on — esr_recover_residual has no
+  // config access, entries are pure functions of (P, failed set), and the
+  // set of distinct failed sets bounds its size. SolverConfig's
+  // factorization_cache knob does not reach it (documented in README).
+  mutable FactorizationCache cache_;
 };
 
 }  // namespace rpcg

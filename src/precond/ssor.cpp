@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -94,12 +95,11 @@ void SsorPreconditioner::local_multiply(NodeId i, std::span<const double> x,
 void SsorPreconditioner::apply(Cluster& cluster, const DistVector& r,
                                DistVector& z, Phase phase) const {
   const int nn = cluster.num_nodes();
-#ifdef RPCG_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (NodeId i = 0; i < nn; ++i) {
-    local_solve(i, r.block(i), z.block(i));
-  }
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto node = static_cast<NodeId>(i);
+                      local_solve(node, r.block(node), z.block(node));
+                    });
   cluster.charge_compute(phase, apply_flops_);
 }
 

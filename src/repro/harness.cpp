@@ -43,6 +43,7 @@ engine::SolverConfig ExperimentRunner::base_config() const {
   c.max_iterations = cfg_.max_iterations;
   c.strategy = cfg_.strategy;
   c.esr.local_rtol = cfg_.local_rtol;
+  c.exec = cfg_.exec;
   return c;
 }
 

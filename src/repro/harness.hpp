@@ -19,6 +19,7 @@
 #include "repro/matrices.hpp"
 #include "util/enum_names.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg::repro {
 
@@ -31,6 +32,9 @@ struct ExperimentConfig {
   double noise_cv = 0.02;         ///< timing jitter (box-plot spread)
   BackupStrategy strategy = BackupStrategy::kPaperAlternating;
   int max_iterations = 200000;
+  /// Host-side execution of the simulator's per-node loops; threaded runs
+  /// are bit-for-bit identical to sequential ones (determinism battery).
+  ExecutionPolicy exec;
 };
 
 /// Where the contiguous failed ranks start (paper Sec. 7.1).

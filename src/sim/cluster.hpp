@@ -12,6 +12,7 @@
 #include "sim/comm_model.hpp"
 #include "sim/partition.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace rpcg {
@@ -81,6 +82,15 @@ class Cluster {
   [[nodiscard]] SimClock& clock() { return clock_; }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
 
+  /// How this cluster's per-node loops execute on the host (sequential or
+  /// fanned out over the shared worker pool). Simulated time is unaffected;
+  /// threaded execution is bit-for-bit identical to sequential (see
+  /// util/thread_pool.hpp for the determinism contract).
+  void set_execution_policy(const ExecutionPolicy& policy) { exec_ = policy; }
+  [[nodiscard]] const ExecutionPolicy& execution_policy() const {
+    return exec_;
+  }
+
   /// Marks a node failed (fail-stop: its memory contents are gone; data
   /// structures holding per-node state are invalidated by their owners).
   void fail_node(NodeId i);
@@ -109,6 +119,7 @@ class Cluster {
   Partition partition_;
   CommModel comm_;
   SimClock clock_;
+  ExecutionPolicy exec_;
   std::vector<bool> alive_;
   int alive_count_ = 0;
 };

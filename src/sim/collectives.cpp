@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -34,13 +35,17 @@ double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
            Phase phase) {
   const int nn = cluster.num_nodes();
   std::vector<double> partial(static_cast<std::size_t>(nn), 0.0);
-  for (NodeId i = 0; i < nn; ++i) {
-    const auto ab = a.block(i);
-    const auto bb = b.block(i);
-    double s = 0.0;
-    for (std::size_t k = 0; k < ab.size(); ++k) s += ab[k] * bb[k];
-    partial[static_cast<std::size_t>(i)] = s;
-  }
+  // Per-node partials computed independently (possibly on the worker pool),
+  // then reduced in node order by allreduce_sum — bitwise identical either way.
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto ab = a.block(static_cast<NodeId>(i));
+                      const auto bb = b.block(static_cast<NodeId>(i));
+                      double s = 0.0;
+                      for (std::size_t k = 0; k < ab.size(); ++k)
+                        s += ab[k] * bb[k];
+                      partial[i] = s;
+                    });
   charge_blas1(cluster, 2.0, phase);
   return allreduce_sum(cluster, partial, phase);
 }
@@ -48,17 +53,22 @@ double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
 DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
                  Phase phase) {
   const int nn = cluster.num_nodes();
+  std::vector<DotPair> partial(static_cast<std::size_t>(nn));
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto rb = r.block(static_cast<NodeId>(i));
+                      const auto zb = z.block(static_cast<NodeId>(i));
+                      double rz = 0.0, rr = 0.0;
+                      for (std::size_t k = 0; k < rb.size(); ++k) {
+                        rz += rb[k] * zb[k];
+                        rr += rb[k] * rb[k];
+                      }
+                      partial[i] = {rz, rr};
+                    });
   DotPair out;
-  for (NodeId i = 0; i < nn; ++i) {
-    const auto rb = r.block(i);
-    const auto zb = z.block(i);
-    double rz = 0.0, rr = 0.0;
-    for (std::size_t k = 0; k < rb.size(); ++k) {
-      rz += rb[k] * zb[k];
-      rr += rb[k] * rb[k];
-    }
-    out.rz += rz;
-    out.rr += rr;
+  for (const DotPair& p : partial) {  // fixed node order: deterministic
+    out.rz += p.rz;
+    out.rr += p.rr;
   }
   charge_blas1(cluster, 4.0, phase);
   cluster.charge_allreduce(phase, 2);
@@ -67,30 +77,38 @@ DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
 
 void axpy(Cluster& cluster, double alpha, const DistVector& x, DistVector& y,
           Phase phase) {
-  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
-    const auto xb = x.block(i);
-    auto yb = y.block(i);
-    for (std::size_t k = 0; k < xb.size(); ++k) yb[k] += alpha * xb[k];
-  }
+  exec_parallel_for(cluster.execution_policy(),
+                    static_cast<std::size_t>(cluster.num_nodes()),
+                    [&](std::size_t i) {
+                      const auto xb = x.block(static_cast<NodeId>(i));
+                      auto yb = y.block(static_cast<NodeId>(i));
+                      for (std::size_t k = 0; k < xb.size(); ++k)
+                        yb[k] += alpha * xb[k];
+                    });
   charge_blas1(cluster, 2.0, phase);
 }
 
 void xpby(Cluster& cluster, const DistVector& x, double beta, DistVector& y,
           Phase phase) {
-  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
-    const auto xb = x.block(i);
-    auto yb = y.block(i);
-    for (std::size_t k = 0; k < xb.size(); ++k) yb[k] = xb[k] + beta * yb[k];
-  }
+  exec_parallel_for(cluster.execution_policy(),
+                    static_cast<std::size_t>(cluster.num_nodes()),
+                    [&](std::size_t i) {
+                      const auto xb = x.block(static_cast<NodeId>(i));
+                      auto yb = y.block(static_cast<NodeId>(i));
+                      for (std::size_t k = 0; k < xb.size(); ++k)
+                        yb[k] = xb[k] + beta * yb[k];
+                    });
   charge_blas1(cluster, 2.0, phase);
 }
 
 void copy(Cluster& cluster, const DistVector& x, DistVector& y, Phase phase) {
-  for (NodeId i = 0; i < cluster.num_nodes(); ++i) {
-    const auto xb = x.block(i);
-    auto yb = y.block(i);
-    std::copy(xb.begin(), xb.end(), yb.begin());
-  }
+  exec_parallel_for(cluster.execution_policy(),
+                    static_cast<std::size_t>(cluster.num_nodes()),
+                    [&](std::size_t i) {
+                      const auto xb = x.block(static_cast<NodeId>(i));
+                      auto yb = y.block(static_cast<NodeId>(i));
+                      std::copy(xb.begin(), xb.end(), yb.begin());
+                    });
   charge_blas1(cluster, 1.0, phase);
 }
 

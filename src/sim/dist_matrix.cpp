@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -76,12 +77,11 @@ void DistMatrix::spmv(Cluster& cluster, const DistVector& x, DistVector& y,
              "SpMV requires all nodes alive (recover first)");
   execute_scatter(cluster, plan_, x, halos, phase);
   const int nn = partition_->num_nodes();
-#ifdef RPCG_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (NodeId i = 0; i < nn; ++i) {
-    local_spmv(i, x.block(i), halos[static_cast<std::size_t>(i)], y.block(i));
-  }
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto node = static_cast<NodeId>(i);
+                      local_spmv(node, x.block(node), halos[i], y.block(node));
+                    });
   cluster.charge_compute(phase, spmv_flops_);
 }
 

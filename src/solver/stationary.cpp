@@ -7,6 +7,7 @@
 #include "core/backup_store.hpp"  // UnrecoverableFailure
 #include "sim/collectives.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rpcg {
 
@@ -279,12 +280,11 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
 
     // One sweep per node (embarrassingly parallel given the halo).
     const int nn = part.num_nodes();
-#ifdef RPCG_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-    for (NodeId i = 0; i < nn; ++i) {
-      local_sweep(i, b.block(i), halos[static_cast<std::size_t>(i)], x.block(i));
-    }
+    exec_parallel_for(cluster_.execution_policy(), static_cast<std::size_t>(nn),
+                      [&](std::size_t i) {
+                        const auto node = static_cast<NodeId>(i);
+                        local_sweep(node, b.block(node), halos[i], x.block(node));
+                      });
     {
       std::vector<double> flops(static_cast<std::size_t>(nn));
       for (NodeId i = 0; i < nn; ++i)

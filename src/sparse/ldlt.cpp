@@ -1,8 +1,33 @@
 #include "sparse/ldlt.hpp"
 
+#include <algorithm>
+
+#include "sparse/reorder.hpp"
 #include "util/check.hpp"
 
 namespace rpcg {
+
+Index SparseLdlt::symbolic_nnz(const CsrMatrix& a) {
+  RPCG_CHECK(a.rows() == a.cols(), "LDLt needs a square matrix");
+  const Index n = a.rows();
+  std::vector<Index> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Index> flag(static_cast<std::size_t>(n), -1);
+  Index nnz = 0;
+  for (Index k = 0; k < n; ++k) {
+    flag[static_cast<std::size_t>(k)] = k;
+    for (Index i : a.row_cols(k)) {
+      if (i >= k) continue;
+      for (; flag[static_cast<std::size_t>(i)] != k;
+           i = parent[static_cast<std::size_t>(i)]) {
+        if (parent[static_cast<std::size_t>(i)] == -1)
+          parent[static_cast<std::size_t>(i)] = k;
+        ++nnz;
+        flag[static_cast<std::size_t>(i)] = k;
+      }
+    }
+  }
+  return nnz;
+}
 
 std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a) {
   RPCG_CHECK(a.rows() == a.cols(), "LDLt needs a square matrix");
@@ -110,6 +135,46 @@ void SparseLdlt::solve(std::span<const double> b, std::span<double> x) const {
   RPCG_CHECK(b.size() == x.size(), "solve size mismatch");
   std::copy(b.begin(), b.end(), x.begin());
   solve_in_place(x);
+}
+
+std::optional<ReorderedLdlt> ReorderedLdlt::factor(const CsrMatrix& a) {
+  std::vector<Index> perm = rcm_ordering(a);
+  bool identity = true;
+  for (Index i = 0; i < a.rows(); ++i) {
+    if (perm[static_cast<std::size_t>(i)] != i) {
+      identity = false;
+      break;
+    }
+  }
+  if (!identity) {
+    CsrMatrix permuted = a.permuted_symmetric(perm);
+    if (SparseLdlt::symbolic_nnz(permuted) < SparseLdlt::symbolic_nnz(a)) {
+      auto f = SparseLdlt::factor(permuted);
+      if (!f.has_value()) return std::nullopt;
+      return ReorderedLdlt(std::move(*f), std::move(perm));
+    }
+  }
+  auto f = SparseLdlt::factor(a);
+  if (!f.has_value()) return std::nullopt;
+  return ReorderedLdlt(std::move(*f), {});
+}
+
+void ReorderedLdlt::solve(std::span<const double> b, std::span<double> x) const {
+  RPCG_CHECK(b.size() == x.size(), "solve size mismatch");
+  if (perm_.empty()) {
+    ldlt_.solve(b, x);
+    return;
+  }
+  // B = P A Pᵀ with B-row i = A-row perm[i]: solve B (P x) = P b. The
+  // workspace is thread-local (not a member) so shared instances — e.g.
+  // FactorizationCache entries — can be solved from concurrent threads.
+  static thread_local std::vector<double> scratch;
+  scratch.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    scratch[i] = b[static_cast<std::size_t>(perm_[i])];
+  ldlt_.solve_in_place(scratch);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    x[static_cast<std::size_t>(perm_[i])] = scratch[i];
 }
 
 }  // namespace rpcg

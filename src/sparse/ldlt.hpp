@@ -25,6 +25,11 @@ class SparseLdlt {
   /// positive definite).
   [[nodiscard]] static std::optional<SparseLdlt> factor(const CsrMatrix& a);
 
+  /// Symbolic-only fill count: the number of entries L would have (excluding
+  /// the unit diagonal). Cheap (one elimination-tree pass, no numerics);
+  /// used to choose between candidate orderings before factorizing once.
+  [[nodiscard]] static Index symbolic_nnz(const CsrMatrix& a);
+
   /// Solves A x = b in place (b becomes x).
   void solve_in_place(std::span<double> b) const;
 
@@ -56,6 +61,38 @@ class SparseLdlt {
   std::vector<double> lx_;  // values
   std::vector<double> d_;   // diagonal of D
   double factor_flops_ = 0.0;
+};
+
+/// LDLᵀ behind a fill-reducing symmetric permutation.
+///
+/// Simplicial LDLᵀ in the natural ordering is catastrophic for the banded
+/// node blocks this library factorizes (a 4x256 grid strip of the M1 FEM
+/// matrix fills to ~200k entries; RCM brings it to ~4k). factor() counts the
+/// symbolic fill of the natural and the RCM ordering and keeps whichever is
+/// sparser, so it is never worse than plain SparseLdlt::factor. Solves apply
+/// the permutation through a thread-local workspace, so one instance may be
+/// solved from concurrent threads (e.g. cache entries shared across a
+/// threaded harness).
+class ReorderedLdlt {
+ public:
+  [[nodiscard]] static std::optional<ReorderedLdlt> factor(const CsrMatrix& a);
+
+  /// Solves A x = b; b and x must not alias. Thread-safe.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] Index dim() const { return ldlt_.dim(); }
+  [[nodiscard]] Index l_nnz() const { return ldlt_.l_nnz(); }
+  [[nodiscard]] double solve_flops() const { return ldlt_.solve_flops(); }
+  [[nodiscard]] double factor_flops() const { return ldlt_.factor_flops(); }
+  /// True when RCM beat the natural ordering (empty perm = natural kept).
+  [[nodiscard]] bool reordered() const { return !perm_.empty(); }
+
+ private:
+  ReorderedLdlt(SparseLdlt ldlt, std::vector<Index> perm)
+      : ldlt_(std::move(ldlt)), perm_(std::move(perm)) {}
+
+  SparseLdlt ldlt_;
+  std::vector<Index> perm_;  // new-to-old; empty = identity
 };
 
 }  // namespace rpcg

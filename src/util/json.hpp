@@ -37,4 +37,21 @@ namespace rpcg {
   return out;
 }
 
+/// Shortest human-readable rendering of a double: integral values print
+/// without a fractional part ("8", not "8.000000"), everything else with
+/// %g. Used wherever numbers are pasted into command lines or JSON scalars
+/// (e.g. run_all's recorded bench commands).
+[[nodiscard]] inline std::string format_compact(double v) {
+  char buf[32];
+  // Range check first: casting NaN or a value beyond long long to integer
+  // is undefined behavior, so it must be guarded, not relied on.
+  if (v >= -1e15 && v <= 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  return buf;
+}
+
 }  // namespace rpcg

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rpcg {
+
+std::string to_string(ExecMode m) { return enum_to_string(m); }
+
+int ExecutionPolicy::hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for tasks
+  std::condition_variable done_cv;   // run_chunked waits for completion
+  std::deque<std::function<void()>> tasks;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+        if (stopping && tasks.empty()) return;
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(new Impl) {
+  RPCG_CHECK(workers >= 1, "thread pool needs at least one worker");
+  impl_->workers.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::shared() {
+  // At least 2 workers so the threaded path crosses threads even on
+  // single-core hosts; capped so wide machines are not flooded with idle
+  // threads the simulator cannot feed.
+  static ThreadPool pool(
+      std::clamp(ExecutionPolicy::hardware_workers(), 2, 16));
+  return pool;
+}
+
+int ThreadPool::size() const {
+  return static_cast<int>(impl_->workers.size());
+}
+
+void ThreadPool::run_chunked(
+    std::size_t n, int max_chunks,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (n == 0) return;
+  const std::size_t chunks =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(1, max_chunks)), n);
+  if (chunks == 1) {
+    chunk_fn(0, n);
+    return;
+  }
+
+  // Per-call completion state, shared with the enqueued tasks by value so a
+  // rethrowing caller can never leave dangling references behind.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * n / chunks;
+      const std::size_t end = (c + 1) * n / chunks;
+      impl_->tasks.emplace_back([batch, begin, end, &chunk_fn] {
+        std::exception_ptr err;
+        try {
+          chunk_fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch->mu);
+        if (err && !batch->error) batch->error = err;
+        if (--batch->remaining == 0) batch->cv.notify_all();
+      });
+    }
+  }
+  impl_->work_cv.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&batch] { return batch->remaining == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace rpcg

@@ -1,0 +1,105 @@
+// The parallel execution subsystem: a process-wide worker pool plus the
+// ExecutionPolicy knob that selects between sequential and threaded
+// execution of the simulator's per-node loops (SpMV, BLAS-1, local
+// preconditioner solves) and of independent harness runs.
+//
+// Determinism contract: exec_parallel_for only ever partitions an index
+// space whose iterations write to disjoint state; reductions are performed
+// by the caller afterwards in fixed index order. Threaded execution is
+// therefore bit-for-bit identical to sequential execution — the property
+// the `parallel`-labeled ctest battery locks in.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/enum_names.hpp"
+
+namespace rpcg {
+
+enum class ExecMode {
+  kSequential,  ///< plain loops on the calling thread (the default)
+  kThreaded,    ///< per-node loops fan out over the shared worker pool
+};
+
+template <>
+struct EnumNames<ExecMode> {
+  static constexpr const char* context = "execution mode";
+  static constexpr std::array<std::pair<ExecMode, const char*>, 2> table{
+      {{ExecMode::kSequential, "sequential"}, {ExecMode::kThreaded, "threaded"}}};
+};
+
+[[nodiscard]] std::string to_string(ExecMode m);
+
+/// How the simulator executes its embarrassingly parallel loops. `workers`
+/// caps the number of chunks a loop is split into; 0 means "hardware
+/// concurrency". The policy travels with the Cluster, so one knob covers
+/// SpMV, collectives, and preconditioner applies alike.
+struct ExecutionPolicy {
+  ExecMode mode = ExecMode::kSequential;
+  int workers = 0;
+
+  [[nodiscard]] static int hardware_workers();
+  [[nodiscard]] int resolved_workers() const {
+    return workers > 0 ? workers : hardware_workers();
+  }
+  [[nodiscard]] bool threaded() const {
+    return mode == ExecMode::kThreaded && resolved_workers() > 1;
+  }
+
+  [[nodiscard]] static ExecutionPolicy sequential() { return {}; }
+  [[nodiscard]] static ExecutionPolicy threaded_with(int workers) {
+    return {ExecMode::kThreaded, workers};
+  }
+};
+
+/// Fixed-size worker pool. Construction is lazy (first shared() call); the
+/// pool is shared process-wide so nested users do not oversubscribe the
+/// machine. The pool size is at least 2 even on single-core hosts, so the
+/// threaded code path genuinely crosses threads (and TSan sees it) there too.
+class ThreadPool {
+ public:
+  /// A private pool with exactly `workers` threads. Prefer shared() for
+  /// in-process compute loops; a private pool fits callers whose tasks
+  /// mostly block outside the process (e.g. run_all's child benches, which
+  /// must not be clamped to the shared pool's size).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  [[nodiscard]] static ThreadPool& shared();
+
+  [[nodiscard]] int size() const;
+
+  /// Splits [0, n) into at most `max_chunks` contiguous ranges and runs
+  /// `chunk_fn(begin, end)` for each on the pool, blocking until all chunks
+  /// completed. Rethrows the first chunk exception on the calling thread.
+  void run_chunked(std::size_t n, int max_chunks,
+                   const std::function<void(std::size_t, std::size_t)>& chunk_fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs fn(i) for i in [0, n): sequentially under a sequential policy, as
+/// static contiguous chunks on the shared pool under a threaded one.
+/// Iterations must write to disjoint state (see the determinism contract).
+template <typename Fn>
+void exec_parallel_for(const ExecutionPolicy& policy, std::size_t n, Fn&& fn) {
+  if (!policy.threaded() || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::shared().run_chunked(
+      n, policy.resolved_workers(), [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+}  // namespace rpcg

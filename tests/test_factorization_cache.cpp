@@ -1,0 +1,204 @@
+// FactorizationCache contract tests: hit/miss accounting, invalidation when
+// an overlapping failure changes the surviving block structure mid-recovery,
+// and the headline guarantee that cached and uncached ESR reconstruction
+// produce byte-identical SolveReports and bitwise-identical iterates (the
+// cache is a host-side wall-clock optimization only; every simulated cost is
+// charged on hits too).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/factorization_cache.hpp"
+#include "engine/registry.hpp"
+#include "sparse/generators.hpp"
+
+namespace rpcg {
+namespace {
+
+engine::Problem make_problem() {
+  return engine::ProblemBuilder()
+      .matrix(poisson2d_5pt(14, 14))
+      .nodes(7)
+      .preconditioner("bjacobi")
+      .build();
+}
+
+FailureSchedule schedule_at(int iteration, std::vector<NodeId> nodes) {
+  FailureSchedule schedule;
+  FailureEvent ev;
+  ev.iteration = iteration;
+  ev.nodes = std::move(nodes);
+  schedule.add(std::move(ev));
+  return schedule;
+}
+
+engine::SolverConfig esr_config(int phi, bool cache) {
+  engine::SolverConfig cfg;
+  cfg.rtol = 1e-9;
+  cfg.recovery = RecoveryMethod::kEsr;
+  cfg.phi = phi;
+  cfg.factorization_cache = cache;
+  return cfg;
+}
+
+engine::SolveReport solve(engine::Problem& problem,
+                          const engine::SolverConfig& cfg,
+                          const FailureSchedule& schedule, DistVector& x) {
+  const auto solver =
+      engine::SolverRegistry::instance().create("resilient-pcg", cfg);
+  x = problem.make_x();
+  return solver->solve(problem, x, schedule);
+}
+
+TEST(FactorizationCache, RepeatedFailureSetHitsAfterFirstMiss) {
+  engine::Problem problem = make_problem();
+  const engine::SolverConfig cfg = esr_config(2, true);
+  const FailureSchedule schedule = schedule_at(2, {1, 3});
+
+  DistVector x;
+  (void)solve(problem, cfg, schedule, x);
+  auto s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // Same failed set again (a harness rep): pure hit.
+  (void)solve(problem, cfg, schedule, x);
+  s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+
+  // A different failed set is a different key.
+  (void)solve(problem, cfg, schedule_at(2, {4, 5}), x);
+  s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(FactorizationCache, DisabledConfigBypassesTheCache) {
+  engine::Problem problem = make_problem();
+  DistVector x;
+  (void)solve(problem, esr_config(2, false), schedule_at(2, {1, 3}), x);
+  const auto s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(FactorizationCache, OverlappingFailureInvalidatesIntersectingEntries) {
+  engine::Problem problem = make_problem();
+  const engine::SolverConfig cfg = esr_config(4, true);
+
+  // Seed the cache with the entry for {1, 2}.
+  DistVector x;
+  (void)solve(problem, cfg, schedule_at(2, {1, 2}), x);
+  ASSERT_EQ(problem.factorization_cache().stats().entries, 1u);
+
+  // An overlapping chain at one iteration: the reconstruction of {1, 2} is
+  // interrupted by a failure of {3}, so the in-flight entry is dropped and
+  // the union {1, 2, 3} is reconstructed from scratch.
+  FailureSchedule overlap = schedule_at(2, {1, 2});
+  FailureEvent second;
+  second.iteration = 2;
+  second.nodes = {3};
+  second.during_recovery = true;
+  overlap.add(std::move(second));
+  (void)solve(problem, cfg, overlap, x);
+
+  const auto s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.invalidated, 1u);   // the {1, 2} entry
+  EXPECT_EQ(s.entries, 1u);       // only {1, 2, 3} remains
+  EXPECT_EQ(s.hits, 0u);
+
+  // {1, 2} must rebuild on next use — its entry is gone.
+  (void)solve(problem, cfg, schedule_at(2, {1, 2}), x);
+  EXPECT_EQ(problem.factorization_cache().stats().misses, 3u);
+}
+
+TEST(FactorizationCache, DirectApiAccounting) {
+  FactorizationCache cache;
+  int builds = 0;
+  const auto build = [&builds]() {
+    ++builds;
+    FactorizationCache::Entry e;
+    e.a_ff = CsrMatrix::identity(4);
+    return e;
+  };
+  const int marker = 0;  // any stable address works as the matrix id
+  const std::vector<NodeId> set{2, 0};
+
+  const auto first = cache.get_or_build("t", &marker, set, build);
+  // Node order must not matter: {0, 2} is the same key as {2, 0}.
+  const std::vector<NodeId> sorted_set{0, 2};
+  const auto second = cache.get_or_build("t", &marker, sorted_set, build);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(builds, 1);
+
+  // Different tag or matrix id: different entries.
+  (void)cache.get_or_build("u", &marker, set, build);
+  const int other = 0;
+  (void)cache.get_or_build("t", &other, set, build);
+  EXPECT_EQ(builds, 3);
+
+  // Invalidation by intersection; non-intersecting sets survive.
+  (void)cache.get_or_build("t", &marker, std::vector<NodeId>{5}, build);
+  const std::vector<NodeId> hit_set{2};
+  EXPECT_EQ(cache.invalidate_overlapping(hit_set), 3u);
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.invalidated, 3u);
+
+  cache.clear();
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.invalidated, 4u);
+
+  // Entries returned before clear() stay alive (shared ownership).
+  EXPECT_EQ(first->a_ff.rows(), 4);
+}
+
+class CachedVsUncached : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CachedVsUncached, IdenticalReportsAndIterates) {
+  const bool exact_local_solve = GetParam();
+
+  const auto run = [exact_local_solve](bool cache, std::string& json,
+                                       std::vector<double>& solution) {
+    engine::Problem problem = make_problem();
+    engine::SolverConfig cfg = esr_config(3, cache);
+    cfg.esr.exact_local_solve = exact_local_solve;
+    // Two reps of the same failures, so the cached run actually hits.
+    const FailureSchedule schedule = schedule_at(3, {2, 4, 5});
+    DistVector x;
+    for (int rep = 0; rep < 2; ++rep) {
+      engine::SolveReport report = solve(problem, cfg, schedule, x);
+      report.wall_seconds = 0.0;  // the only nondeterministic field
+      json += report.to_json();
+    }
+    solution = x.gather_global();
+    if (cache) {
+      const auto s = problem.factorization_cache().stats();
+      EXPECT_EQ(s.misses, 1u);
+      EXPECT_GE(s.hits, 1u);
+    }
+  };
+
+  std::string cached_json, uncached_json;
+  std::vector<double> cached_x, uncached_x;
+  run(true, cached_json, cached_x);
+  run(false, uncached_json, uncached_x);
+
+  EXPECT_EQ(cached_json, uncached_json);
+  ASSERT_EQ(cached_x.size(), uncached_x.size());
+  for (std::size_t i = 0; i < cached_x.size(); ++i)
+    ASSERT_EQ(cached_x[i], uncached_x[i]) << "entry " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ic0AndExact, CachedVsUncached, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "exact_ldlt" : "ic0_pcg";
+                         });
+
+}  // namespace
+}  // namespace rpcg

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sparse/generators.hpp"
+#include "util/json.hpp"
 
 namespace rpcg::repro {
 namespace {
@@ -82,6 +83,39 @@ TEST(Harness, BaselineRunsWork) {
 TEST(Harness, OverheadPctValidation) {
   EXPECT_DOUBLE_EQ(overhead_pct(1.1, 1.0), 10.000000000000009);
   EXPECT_THROW((void)overhead_pct(1.0, 0.0), std::invalid_argument);
+}
+
+// run_all records every bench command in its JSON report; integral scales
+// must serialize as integers ("--scale=8", not "--scale=8.000000") so the
+// recorded commands are copy-pasteable and stable across PR snapshots.
+TEST(Harness, CommandScaleFormatsCompactly) {
+  EXPECT_EQ(format_compact(8.0), "8");
+  EXPECT_EQ(format_compact(128.0), "128");
+  EXPECT_EQ(format_compact(0.0), "0");
+  EXPECT_EQ(format_compact(-4.0), "-4");
+  EXPECT_EQ(format_compact(8.5), "8.5");
+  EXPECT_EQ(format_compact(0.25), "0.25");
+  EXPECT_EQ(format_compact(1e18), "1e+18");  // beyond exact integer range
+}
+
+TEST(Harness, ExperimentConfigCarriesExecutionPolicy) {
+  const CsrMatrix a = poisson2d_5pt(12, 12);
+  ExperimentConfig cfg = small_config();
+  cfg.exec = ExecutionPolicy::threaded_with(4);
+  ExperimentRunner runner(a, cfg);
+  const auto base = runner.base_config();
+  EXPECT_EQ(base.exec.mode, ExecMode::kThreaded);
+  EXPECT_EQ(base.exec.workers, 4);
+  // Threaded harness runs behave exactly like sequential ones.
+  ExperimentConfig seq_cfg = small_config();
+  seq_cfg.noise_cv = 0.0;
+  cfg.noise_cv = 0.0;
+  ExperimentRunner seq_runner(a, seq_cfg);
+  ExperimentRunner thr_runner(a, cfg);
+  const auto r1 = seq_runner.run_with_failures(2, 2, FailureLocation::kStart, 0.5, 3);
+  const auto r2 = thr_runner.run_with_failures(2, 2, FailureLocation::kStart, 0.5, 3);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.sim_time, r2.sim_time);
 }
 
 TEST(Harness, PsiMustNotExceedPhi) {

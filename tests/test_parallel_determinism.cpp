@@ -1,0 +1,150 @@
+// The determinism battery of the parallel execution subsystem: for every
+// registered solver x {none, jacobi, bjacobi} x a multi-failure schedule,
+// the threaded execution policy (2/4/8 workers) must produce SolveReports
+// that match the sequential policy bit-for-bit — same iteration counts,
+// same per-iteration residual history, same recovery records, same
+// simulated times, byte-identical report JSON. This is the contract that
+// makes the threaded cluster safe to switch on anywhere (see
+// util/thread_pool.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "sparse/generators.hpp"
+
+namespace rpcg {
+namespace {
+
+struct RunOutput {
+  std::string report_json;              // wall_seconds normalized to 0
+  std::vector<double> residual_history; // per-iteration rel_residual
+  std::vector<double> solution;         // final iterate
+};
+
+/// A schedule with two separate multi-node failure events (what Sec. 4.1
+/// calls repeated psi <= phi failures), used for every resilient family.
+FailureSchedule multi_failure_schedule() {
+  FailureSchedule schedule;
+  FailureEvent first;
+  first.iteration = 3;
+  first.nodes = {1, 2};
+  schedule.add(std::move(first));
+  FailureEvent second;
+  second.iteration = 7;
+  second.nodes = {5, 6, 7};
+  schedule.add(std::move(second));
+  return schedule;
+}
+
+RunOutput run_once(const std::string& solver_name, const std::string& precond,
+                   const ExecutionPolicy& exec) {
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(poisson2d_5pt(16, 16))
+                                .nodes(8)
+                                .preconditioner(precond)
+                                .noise(0.02, 42)  // jitter must not break it
+                                .build();
+
+  engine::SolverConfig cfg;
+  cfg.rtol = 1e-9;
+  cfg.max_iterations = 400;  // stationary sweeps need not converge; the
+                             // comparison is on the full report either way
+  cfg.exec = exec;
+  FailureSchedule schedule;
+  if (solver_name != "pcg") {  // the reference solver tolerates no failures
+    cfg.phi = 3;
+    if (solver_name == "resilient-pcg") cfg.recovery = RecoveryMethod::kEsr;
+    schedule = multi_failure_schedule();
+  }
+  RunOutput out;
+  cfg.events.on_iteration = [&out](const IterationSnapshot& snap) {
+    out.residual_history.push_back(snap.rel_residual);
+  };
+
+  const auto solver =
+      engine::SolverRegistry::instance().create(solver_name, cfg);
+  DistVector x = problem.make_x();
+  engine::SolveReport report = solver->solve(problem, x, schedule);
+  report.wall_seconds = 0.0;  // host time is the one nondeterministic field
+  out.report_json = report.to_json();
+  out.solution = x.gather_global();
+  return out;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(ParallelDeterminism, ThreadedMatchesSequentialBitForBit) {
+  const auto& [solver_name, precond] = GetParam();
+  const RunOutput seq = run_once(solver_name, precond,
+                                 ExecutionPolicy::sequential());
+  // The reference "pcg" solver supports no event hooks (it is the untouched
+  // bit-for-bit baseline); everyone else must report a residual history.
+  if (solver_name != "pcg") {
+    ASSERT_FALSE(seq.residual_history.empty());
+  }
+
+  for (const int workers : {2, 4, 8}) {
+    const RunOutput thr =
+        run_once(solver_name, precond, ExecutionPolicy::threaded_with(workers));
+    EXPECT_EQ(seq.report_json, thr.report_json)
+        << solver_name << "/" << precond << " workers=" << workers;
+    ASSERT_EQ(seq.residual_history.size(), thr.residual_history.size());
+    for (std::size_t i = 0; i < seq.residual_history.size(); ++i)
+      ASSERT_EQ(seq.residual_history[i], thr.residual_history[i])
+          << solver_name << "/" << precond << " workers=" << workers
+          << " iteration " << i;
+    ASSERT_EQ(seq.solution.size(), thr.solution.size());
+    for (std::size_t i = 0; i < seq.solution.size(); ++i)
+      ASSERT_EQ(seq.solution[i], thr.solution[i])
+          << solver_name << "/" << precond << " workers=" << workers
+          << " entry " << i;
+  }
+}
+
+std::vector<std::tuple<std::string, std::string>> all_combinations() {
+  std::vector<std::tuple<std::string, std::string>> out;
+  for (const std::string& solver : engine::SolverRegistry::instance().names())
+    for (const char* precond : {"none", "jacobi", "bjacobi"})
+      out.emplace_back(solver, precond);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolversAndPreconditioners, ParallelDeterminism,
+    ::testing::ValuesIn(all_combinations()),
+    [](const ::testing::TestParamInfo<ParallelDeterminism::ParamType>& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// The ssor and ic0-split preconditioners parallelize their apply loops too;
+// one esr-recovery pass each keeps them inside the battery without blowing
+// up the matrix of runs.
+TEST(ParallelDeterminismExtra, SplitAndSsorPreconditioners) {
+  for (const std::string precond : {"ssor", "ic0-split"}) {
+    const RunOutput seq =
+        run_once("resilient-pcg", precond, ExecutionPolicy::sequential());
+    const RunOutput thr =
+        run_once("resilient-pcg", precond, ExecutionPolicy::threaded_with(4));
+    EXPECT_EQ(seq.report_json, thr.report_json) << precond;
+  }
+}
+
+// Worker counts beyond the node count (and the n <= 1 fast path) must not
+// change anything either.
+TEST(ParallelDeterminismExtra, MoreWorkersThanNodes) {
+  const RunOutput seq =
+      run_once("resilient-pcg", "bjacobi", ExecutionPolicy::sequential());
+  const RunOutput thr =
+      run_once("resilient-pcg", "bjacobi", ExecutionPolicy::threaded_with(64));
+  EXPECT_EQ(seq.report_json, thr.report_json);
+}
+
+}  // namespace
+}  // namespace rpcg
