@@ -4,9 +4,14 @@
 Compares two run_all reports (e.g. the committed BENCH_PR<N-1>.json baseline
 against the candidate BENCH_PR<N>.json) and fails when any bench present in
 BOTH reports regressed by more than --max-regression percent in wall time.
-Benches that appear in only one report are listed but never fail the gate
-(the suite is allowed to grow), and failed benches (exit_code != 0) in the
-candidate always fail it.
+Benches that appear in only one snapshot never fail the gate on *timing*: a
+candidate-only bench is NEW (warned, not gated — freshly landed benches such
+as the pipelined suite must be able to enter the trajectory), a
+baseline-only bench is DROPPED (warned, not gated). Failed benches
+(exit_code != 0) in the candidate always fail the gate, NEW ones included.
+
+Report loading and per-bench validity live in bench/report_tools.py (the
+shared trajectory reader); this script only adds the gate policy.
 
 Usage:
   bench/check_regression.py BASELINE.json CANDIDATE.json [--max-regression 15]
@@ -15,22 +20,9 @@ Exit code 0 = gate passed, 1 = regression or failed bench, 2 = bad input.
 """
 
 import argparse
-import json
 import sys
 
-
-def load_report(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    if report.get("schema") != "rpcg-bench-report/v1":
-        print(f"check_regression: {path} is not an rpcg-bench-report/v1",
-              file=sys.stderr)
-        sys.exit(2)
-    return report
+import report_tools
 
 
 def main():
@@ -42,14 +34,26 @@ def main():
                              "(default: 15)")
     args = parser.parse_args()
 
-    baseline = load_report(args.baseline)
-    candidate = load_report(args.candidate)
-    base = {b["name"]: b for b in baseline["benches"]}
-    cand = {b["name"]: b for b in candidate["benches"]}
+    try:
+        baseline = report_tools.load_bench_report(args.baseline)
+        candidate = report_tools.load_bench_report(args.candidate)
+    except report_tools.ReportError as e:
+        print(f"check_regression: {e}", file=sys.stderr)
+        return 2
+    base = report_tools.bench_map(baseline)
+    cand = report_tools.bench_map(candidate)
 
     failures = []
     for name in sorted(set(base) | set(cand)):
+        if name in cand and cand[name]["exit_code"] != 0:
+            # A failed candidate bench always fails the gate, baseline or not
+            # (a freshly landed bench that crashes must not ship as "NEW").
+            failures.append(f"{name} failed "
+                            f"(exit code {cand[name]['exit_code']})")
+            print(f"  FAILED   {name}: exit code {cand[name]['exit_code']}")
+            continue
         if name not in base:
+            # Candidate-only: the suite grew; warn, never gate on timing.
             print(f"  NEW      {name}: {cand[name]['wall_seconds']:.2f}s "
                   "(no baseline, not gated)")
             continue
@@ -57,19 +61,16 @@ def main():
             print(f"  DROPPED  {name} (baseline only, not gated)")
             continue
         b, c = base[name], cand[name]
-        if c["exit_code"] != 0:
-            failures.append(f"{name} failed (exit code {c['exit_code']})")
-            print(f"  FAILED   {name}: exit code {c['exit_code']}")
-            continue
-        if b["exit_code"] != 0 or b["wall_seconds"] <= 0.0:
+        base_wall = report_tools.bench_wall_seconds(b)
+        if base_wall is None:
             # A failed/zero-time baseline entry is no baseline at all (e.g.
             # exit 127 from a missing binary); report it, don't divide by it.
             print(f"  NOBASE   {name}: baseline invalid (exit "
                   f"{b['exit_code']}, {b['wall_seconds']:.2f}s); not gated")
             continue
-        delta = 100.0 * (c["wall_seconds"] - b["wall_seconds"]) / b["wall_seconds"]
+        delta = 100.0 * (c["wall_seconds"] - base_wall) / base_wall
         verdict = "REGRESSED" if delta > args.max_regression else "ok"
-        print(f"  {verdict:8s} {name}: {b['wall_seconds']:.2f}s -> "
+        print(f"  {verdict:8s} {name}: {base_wall:.2f}s -> "
               f"{c['wall_seconds']:.2f}s ({delta:+.1f}%)")
         if delta > args.max_regression:
             failures.append(f"{name} regressed {delta:+.1f}% "

@@ -123,6 +123,28 @@ LocalSolveOutcome esr_solve_lost_x(Cluster& cluster, const CsrMatrix& a_global,
   return outcome;
 }
 
+void esr_replace_and_refetch(Cluster& cluster, const CsrMatrix& a_global,
+                             std::span<const NodeId> failed) {
+  const Partition& part = cluster.partition();
+
+  // Replacement nodes come online; failure detection and agreement is one
+  // collective over the survivors (ULFM-style shrink/agree).
+  cluster.charge_allreduce(Phase::kRecovery, 1);
+  for (const NodeId f : failed) cluster.replace_node(f);
+
+  // Static data re-fetch from reliable storage: A rows, preconditioner rows,
+  // and b rows of the failed blocks (Sec. 1.1.2). Replacements read in
+  // parallel; cost is the slowest one.
+  std::vector<double> per_node(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
+  for (const NodeId f : failed) {
+    Index doubles = part.size(f);  // b block
+    for (Index row = part.begin(f); row < part.end(f); ++row)
+      doubles += 2 * static_cast<Index>(a_global.row_cols(row).size());
+    per_node[static_cast<std::size_t>(f)] = cluster.comm().storage_cost(doubles);
+  }
+  cluster.charge_parallel_seconds(Phase::kRecovery, per_node);
+}
+
 RecoveryStats EsrReconstructor::recover(Cluster& cluster,
                                         std::span<const NodeId> failed,
                                         BackupStore& store, double beta_prev,
@@ -136,24 +158,7 @@ RecoveryStats EsrReconstructor::recover(Cluster& cluster,
   RecoveryStats stats;
   stats.psi = static_cast<int>(failed.size());
 
-  // Replacement nodes come online; failure detection and agreement is one
-  // collective over the survivors (ULFM-style shrink/agree).
-  cluster.charge_allreduce(Phase::kRecovery, 1);
-  for (const NodeId f : failed) cluster.replace_node(f);
-
-  // Static data re-fetch from reliable storage: A rows, preconditioner rows,
-  // and b rows of the failed blocks (Sec. 1.1.2). Replacements read in
-  // parallel; cost is the slowest one.
-  {
-    std::vector<double> per_node(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
-    for (const NodeId f : failed) {
-      Index doubles = part.size(f);  // b block
-      for (Index row = part.begin(f); row < part.end(f); ++row)
-        doubles += 2 * static_cast<Index>(a_global_->row_cols(row).size());
-      per_node[static_cast<std::size_t>(f)] = cluster.comm().storage_cost(doubles);
-    }
-    cluster.charge_parallel_seconds(Phase::kRecovery, per_node);
-  }
+  esr_replace_and_refetch(cluster, *a_global_, failed);
 
   const std::vector<Index> rows = part.rows_of_set(failed);
   stats.lost_rows = static_cast<Index>(rows.size());

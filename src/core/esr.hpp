@@ -59,6 +59,14 @@ struct LocalSolveOutcome {
   int iterations = 0;
   double rel_residual = 0.0;
 };
+
+/// Steps 1-2 of Alg. 2, shared by every reconstruction flavor (blocking and
+/// pipelined): failure detection/agreement (one collective over the
+/// survivors, ULFM-style shrink/agree), replacement nodes coming online,
+/// and their parallel re-fetch of the static data (A rows, preconditioner
+/// rows, b rows) from reliable storage. Charges Phase::kRecovery.
+void esr_replace_and_refetch(Cluster& cluster, const CsrMatrix& a_global,
+                             std::span<const NodeId> failed);
 [[nodiscard]] LocalSolveOutcome esr_solve_lost_x(
     Cluster& cluster, const CsrMatrix& a_global, std::span<const Index> rows,
     std::span<const double> r_f, const DistVector& b, const DistVector& x,

@@ -1,0 +1,330 @@
+#include "core/pipelined_pcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/factorization_cache.hpp"
+#include "sim/collectives.hpp"
+#include "solver/pcg.hpp"  // true_residual_norm
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace rpcg {
+
+/// The live iteration state at loop top k (k completed updates): the
+/// current-generation vectors r_k, u_k, w_k, the previous direction p_{k-1}
+/// (plus p_{k-2}, u_{k-1} for the period-2 backup), the in-flight m/n, and
+/// the recurrence vectors s/q/z of update k-1. Replicated scalars ride
+/// along: gamma_{k-1}, alpha_{k-1} (recovered from any survivor on failure).
+struct PipelinedPcg::LoopState {
+  explicit LoopState(const Partition& part)
+      : r(part), u(part), w(part), m(part), n(part), z(part), q(part), s(part),
+        p(part), p_prev(part), u_prev(part) {}
+
+  DistVector r, u, w, m, n, z, q, s, p, p_prev, u_prev;
+  double gamma_prev = 0.0;
+  double alpha_prev = 0.0;
+
+  [[nodiscard]] std::vector<DistVector*> all() {
+    return {&r, &u, &w, &m, &n, &z, &q, &s, &p, &p_prev, &u_prev};
+  }
+};
+
+PipelinedPcg::PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           const Preconditioner& m, PipelinedPcgOptions opts)
+    : PipelinedPcg(cluster, a_global,
+                   MaybeOwned<DistMatrix>::owned(
+                       DistMatrix::distribute(a_global, cluster.partition())),
+                   m, std::move(opts)) {}
+
+PipelinedPcg::PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           const DistMatrix& a, const Preconditioner& m,
+                           PipelinedPcgOptions opts)
+    : PipelinedPcg(cluster, a_global, MaybeOwned<DistMatrix>::borrowed(a), m,
+                   std::move(opts)) {}
+
+PipelinedPcg::PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+                           MaybeOwned<DistMatrix> a, const Preconditioner& m,
+                           PipelinedPcgOptions opts)
+    : cluster_(cluster),
+      a_global_(&a_global),
+      m_(&m),
+      opts_(std::move(opts)),
+      a_(std::move(a)) {
+  RPCG_CHECK(opts_.phi >= 0, "phi must be non-negative");
+  if (opts_.phi > 0) {
+    scheme_ = RedundancyScheme::build(a_->scatter_plan(), cluster_.partition(),
+                                      opts_.phi, opts_.strategy,
+                                      opts_.strategy_seed);
+    store_p_.configure(a_->scatter_plan(), scheme_, cluster_.partition());
+    store_u_.configure(a_->scatter_plan(), scheme_, cluster_.partition());
+    // Two vectors ride the per-iteration halo exchange (p and u
+    // generations), so the Sec. 4.2 round-based overhead doubles.
+    redundancy_step_cost_ =
+        2.0 * scheme_.per_iteration_overhead(cluster_.comm());
+  }
+}
+
+void PipelinedPcg::inject_failures(const std::vector<NodeId>& nodes,
+                                   DistVector& x, LoopState& st) {
+  for (const NodeId f : nodes) {
+    cluster_.fail_node(f);
+    x.invalidate(f);
+    for (DistVector* v : st.all()) v->invalidate(f);
+    store_p_.invalidate_node(f);
+    store_u_.invalidate_node(f);
+  }
+}
+
+RecoveryStats PipelinedPcg::recover(std::span<const NodeId> failed,
+                                    const DistVector& b, DistVector& x,
+                                    LoopState& st) {
+  RPCG_CHECK(!failed.empty(), "nothing to recover");
+  const Partition& part = cluster_.partition();
+  const double t_before = cluster_.clock().in_phase(Phase::kRecovery);
+  RecoveryStats stats;
+  stats.psi = static_cast<int>(failed.size());
+
+  esr_replace_and_refetch(cluster_, *a_global_, failed);
+
+  const std::vector<Index> rows = part.rows_of_set(failed);
+  stats.lost_rows = static_cast<Index>(rows.size());
+
+  // Replicated scalars gamma^(k-1), alpha^(k-1) from any survivor, then both
+  // generations of the lost u and p blocks from the redundant copies.
+  cluster_.clock().advance(Phase::kRecovery, cluster_.comm().message_cost(1));
+  const BackupStore::Gathered got_u = store_u_.gather_lost(cluster_, rows);
+  const BackupStore::Gathered got_p = store_p_.gather_lost(cluster_, rows);
+  stats.gathered_elements =
+      got_u.elements_transferred + got_p.elements_transferred;
+
+  // r_{IF} through the preconditioner from the backed-up u = M^{-1} r —
+  // the same Alg. 2 step the blocking engine applies to z.
+  std::vector<double> r_f(rows.size());
+  m_->esr_recover_residual(cluster_, rows, got_u.cur, st.r, st.u, r_f);
+
+  // x_{IF} from the A_{IF,IF} local system (lines 7-8, cache-served).
+  std::vector<double> x_f(rows.size());
+  const LocalSolveOutcome outcome =
+      esr_solve_lost_x(cluster_, *a_global_, rows, r_f, b, x, x_f, opts_.esr);
+  stats.local_solve_iterations = outcome.iterations;
+  stats.local_solve_rel_residual = outcome.rel_residual;
+
+  // Install the exactly reconstructed blocks on the replacement nodes.
+  std::vector<NodeId> sorted(failed.begin(), failed.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t pos = 0;
+  for (const NodeId f : sorted) {
+    const auto bsize = static_cast<std::size_t>(part.size(f));
+    const auto slice = [&pos, bsize](const std::vector<double>& v) {
+      return std::span<const double>(v.data() + pos, bsize);
+    };
+    x.restore_block(f, slice(x_f));
+    st.r.restore_block(f, slice(r_f));
+    st.u.restore_block(f, slice(got_u.cur));
+    st.u_prev.restore_block(f, slice(got_u.prev));
+    st.p.restore_block(f, slice(got_p.cur));
+    st.p_prev.restore_block(f, slice(got_p.prev));
+    pos += bsize;
+  }
+
+  // Rebuild the remaining recurrence vectors on the replacements from their
+  // defining relations (Levonyak et al.): s = A p, q = M^{-1} s, z = A q,
+  // w = A u. Full operator applications charged to recovery — the same
+  // resume-recompute accounting as the blocking engine's u = A p.
+  {
+    DistVector tmp(part);
+    std::vector<std::vector<double>> halos;
+    const auto rebuild_lost = [&](DistVector& dst) {
+      for (const NodeId f : sorted) dst.restore_block(f, tmp.block(f));
+    };
+    a_->spmv(cluster_, st.p, tmp, halos, Phase::kRecovery);
+    rebuild_lost(st.s);
+    m_->apply(cluster_, st.s, tmp, Phase::kRecovery);
+    rebuild_lost(st.q);
+    a_->spmv(cluster_, st.q, tmp, halos, Phase::kRecovery);
+    rebuild_lost(st.z);
+    a_->spmv(cluster_, st.u, tmp, halos, Phase::kRecovery);
+    rebuild_lost(st.w);
+  }
+
+  // The in-flight m = M^{-1} w, n = A m are recomputed whole — they are
+  // minted fresh every iteration, so survivors reproduce their values
+  // bit-for-bit and the replacements obtain consistent ones.
+  for (const NodeId f : sorted) {
+    st.m.revalidate_zero(f);
+    st.n.revalidate_zero(f);
+  }
+  {
+    std::vector<std::vector<double>> halos;
+    m_->apply(cluster_, st.w, st.m, Phase::kRecovery);
+    a_->spmv(cluster_, st.m, st.n, halos, Phase::kRecovery);
+  }
+
+  // Restore full phi+1 redundancy of both backup sets right away.
+  store_p_.re_arm(cluster_, sorted, st.p, st.p_prev);
+  store_u_.re_arm(cluster_, sorted, st.u, st.u_prev);
+
+  stats.sim_seconds = cluster_.clock().in_phase(Phase::kRecovery) - t_before;
+  return stats;
+}
+
+ResilientPcgResult PipelinedPcg::solve(const DistVector& b, DistVector& x,
+                                       const FailureSchedule& schedule) {
+  RPCG_CHECK(cluster_.alive_count() == cluster_.num_nodes(),
+             "all nodes must be alive at solve entry");
+  const Partition& part = cluster_.partition();
+  WallTimer wall;
+  std::array<double, kNumPhases> clock_at_entry{};
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    clock_at_entry[static_cast<std::size_t>(ph)] =
+        cluster_.clock().in_phase(static_cast<Phase>(ph));
+
+  LoopState st(part);
+  std::vector<std::vector<double>> halos;
+  const Phase it = Phase::kIteration;
+
+  // r^(0) = b - A x^(0); u^(0) = M^{-1} r^(0); w^(0) = A u^(0). The first
+  // loop turn delivers ||r^(0)|| with its fused reduction, so no separate
+  // startup reduction is needed.
+  a_->spmv(cluster_, x, st.n, halos, it);  // n as scratch
+  copy(cluster_, b, st.r, it);
+  axpy(cluster_, -1.0, st.n, st.r, it);
+  m_->apply(cluster_, st.r, st.u, it);
+  a_->spmv(cluster_, st.u, st.w, halos, it);
+
+  ResilientPcgResult res;
+  FailureCursor cursor(schedule);
+  double rnorm0 = 0.0;
+
+  for (int k = 0;; ++k) {
+    // Post the fused reduction, then hide it behind the preconditioner
+    // application and the SpMV of this iteration.
+    PendingReduction red = ipipelined_dots(cluster_, st.r, st.u, st.w, it);
+    m_->apply(cluster_, st.w, st.m, it);
+    a_->spmv(cluster_, st.m, st.n, halos, it);
+    if (opts_.phi > 0) {
+      store_p_.record(st.p);
+      store_u_.record(st.u);
+      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+    }
+
+    // --- Failure injection point (backups of both generations in place). ---
+    const std::vector<int> evs = cursor.take_due(k);
+    if (!evs.empty()) {
+      if (opts_.phi == 0)
+        throw UnrecoverableFailure(
+            "node failure injected into a non-resilient pipelined solver");
+      // The posted reduction completes among the survivors before the
+      // reconstruction starts.
+      red.wait();
+      std::vector<NodeId> merged;
+      bool first = true;
+      for (const int idx : evs) {
+        const FailureEvent& ev = cursor.event(idx);
+        if (!first && ev.during_recovery) {
+          // Overlapping failure: charge the gathers performed so far for
+          // `merged` and drop factorizations the changed survivor structure
+          // invalidated, then restart with the union (as in the blocking
+          // engine).
+          const std::vector<Index> partial_rows = part.rows_of_set(merged);
+          (void)store_u_.gather_lost(cluster_, partial_rows);
+          (void)store_p_.gather_lost(cluster_, partial_rows);
+          if (opts_.esr.cache != nullptr)
+            (void)opts_.esr.cache->invalidate_overlapping(merged);
+        }
+        inject_failures(ev.nodes, x, st);
+        if (opts_.events.on_failure_injected)
+          opts_.events.on_failure_injected(ev);
+        merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+        first = false;
+      }
+      RecoveryRecord rec;
+      rec.iteration = k;
+      rec.nodes = merged;
+      rec.stats = recover(merged, b, x, st);
+      res.recoveries.push_back(std::move(rec));
+      if (opts_.events.on_recovery_complete)
+        opts_.events.on_recovery_complete(res.recoveries.back());
+    }
+
+    red.wait();
+    const double gamma = red.value(0);
+    const double delta = red.value(1);
+    const double rr = red.value(2);
+
+    if (k == 0) {
+      rnorm0 = std::sqrt(rr);
+      if (rnorm0 == 0.0) {
+        res.converged = true;
+        res.solver_residual_norm = 0.0;
+        break;
+      }
+    } else {
+      res.iterations = k;
+      res.rel_residual = std::sqrt(rr) / rnorm0;
+      res.solver_residual_norm = std::sqrt(rr);
+      if (opts_.events.on_iteration) {
+        IterationSnapshot snap;
+        snap.iteration = res.iterations;
+        snap.rel_residual = res.rel_residual;
+        snap.x = &x;
+        snap.r = &st.r;
+        snap.z = &st.u;  // u is the preconditioned residual
+        snap.p = &st.p;
+        opts_.events.on_iteration(snap);
+      }
+      if (res.rel_residual <= opts_.pcg.rtol) {
+        res.converged = true;
+        break;
+      }
+    }
+    if (k >= opts_.pcg.max_iterations) break;
+
+    // Scalar recurrences (replicated on every node).
+    double beta, alpha;
+    if (k == 0) {
+      beta = 0.0;
+      RPCG_REQUIRE(delta > 0.0, "matrix is not positive definite along u");
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / st.gamma_prev;
+      const double denom = delta - beta * gamma / st.alpha_prev;
+      RPCG_REQUIRE(denom > 0.0, "matrix is not positive definite along p");
+      alpha = gamma / denom;
+    }
+
+    // Vector recurrences of update k.
+    xpby(cluster_, st.n, beta, st.z, it);  // z = n + beta z
+    xpby(cluster_, st.m, beta, st.q, it);  // q = m + beta q
+    xpby(cluster_, st.w, beta, st.s, it);  // s = w + beta s
+    {
+      // Keeping the previous p/u generations is a local pointer swap in a
+      // real implementation; it costs no time.
+      ClockPause pause(cluster_.clock());
+      copy(cluster_, st.p, st.p_prev, it);
+      copy(cluster_, st.u, st.u_prev, it);
+    }
+    xpby(cluster_, st.u, beta, st.p, it);   // p = u + beta p
+    axpy(cluster_, alpha, st.p, x, it);     // x += alpha p
+    axpy(cluster_, -alpha, st.s, st.r, it); // r -= alpha s
+    axpy(cluster_, -alpha, st.q, st.u, it); // u -= alpha q
+    axpy(cluster_, -alpha, st.z, st.w, it); // w -= alpha z
+    st.gamma_prev = gamma;
+    st.alpha_prev = alpha;
+  }
+
+  res.true_residual_norm = true_residual_norm(cluster_, *a_, b, x);
+  if (res.true_residual_norm > 0.0)
+    res.delta_metric = (res.solver_residual_norm - res.true_residual_norm) /
+                       res.true_residual_norm;
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    res.sim_time_phase[static_cast<std::size_t>(ph)] =
+        cluster_.clock().in_phase(static_cast<Phase>(ph)) -
+        clock_at_entry[static_cast<std::size_t>(ph)];
+  for (const double t : res.sim_time_phase) res.sim_time += t;
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,112 @@
+// Communication-hiding (pipelined) PCG and its ESR-resilient variant —
+// Ghysels & Vanroose's pipelined recurrences on top of the split-phase
+// collectives of sim/collectives.hpp, extended to multi-node failures per
+// Levonyak et al. (arXiv:1912.09230).
+//
+// Per iteration, one fused 3-scalar reduction (gamma = r^T u, delta = w^T u,
+// ||r||^2) is *posted*, then the preconditioner application m = M^{-1} w and
+// the SpMV n = A m execute while it is in flight; wait() charges only the
+// non-overlapped remainder of the reduction latency. The recurrences
+//
+//   z = n + beta z    q = m + beta q    s = w + beta s    p = u + beta p
+//   x += alpha p      r -= alpha s      u -= alpha q      w -= alpha z
+//
+// keep u = M^{-1} r and w = A u without further synchronization.
+//
+// Resilience (phi >= 1) reuses the paper's ESR machinery end to end: the
+// node backup set grows from {p^(j), p^(j-1)} to also hold the two most
+// recent generations of u (the preconditioned residual, the extra recurrence
+// vector that seeds reconstruction), piggybacked on the per-iteration halo
+// exchange like the p copies. On failure, x and r are reconstructed exactly
+// as in Alg. 2 (r through the preconditioner from the backed-up u, x via the
+// A_{IF,IF} local solve, FactorizationCache-served), and the remaining
+// recurrence vectors are rebuilt on the replacement nodes from their
+// defining relations: s = A p, q = M^{-1} s, z = A q, w = A u.
+#pragma once
+
+#include <cstdint>
+
+#include "core/backup_store.hpp"
+#include "core/esr.hpp"
+#include "core/events.hpp"
+#include "core/failure_schedule.hpp"
+#include "core/redundancy.hpp"
+#include "core/resilient_pcg.hpp"  // ResilientPcgResult, PcgOptions
+#include "precond/preconditioner.hpp"
+#include "sim/cluster.hpp"
+#include "sim/dist_matrix.hpp"
+#include "sim/dist_vector.hpp"
+#include "util/maybe_owned.hpp"
+
+namespace rpcg {
+
+struct PipelinedPcgOptions {
+  PcgOptions pcg;
+  /// Redundant copies per backed-up vector; 0 = non-resilient (any scheduled
+  /// failure throws UnrecoverableFailure), >= 1 enables ESR recovery.
+  int phi = 0;
+  BackupStrategy strategy = BackupStrategy::kPaperAlternating;
+  EsrOptions esr;
+  std::uint64_t strategy_seed = 0;
+  SolverEvents events;
+};
+
+/// The pipelined engine. With phi = 0 it runs the plain communication-hiding
+/// iteration (the "pipelined-pcg" registry solver); with phi >= 1 it is the
+/// resilient variant ("pipelined-resilient-pcg"). Both share this one code
+/// path, so phi = 0 resilient runs are byte-identical to the plain solver.
+class PipelinedPcg {
+ public:
+  /// Same ownership contract as ResilientPcg: `a_global` is the reliable
+  /// static copy kept for reconstruction, `a` its distributed form; both,
+  /// the preconditioner, and the cluster must outlive the engine.
+  PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+               const DistMatrix& a, const Preconditioner& m,
+               PipelinedPcgOptions opts);
+
+  /// Convenience constructor that distributes the matrix internally.
+  PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+               const Preconditioner& m, PipelinedPcgOptions opts);
+
+  /// Solves A x = b from the initial guess in x; failures are injected per
+  /// schedule at the loop's SpMV, like the blocking engine.
+  [[nodiscard]] ResilientPcgResult solve(const DistVector& b, DistVector& x,
+                                         const FailureSchedule& schedule = {});
+
+  [[nodiscard]] const PipelinedPcgOptions& options() const { return opts_; }
+
+  /// Failure-free per-iteration cost of distributing the redundant copies of
+  /// both backed-up vectors (p and u generations).
+  [[nodiscard]] double redundancy_overhead_per_iteration() const {
+    return redundancy_step_cost_;
+  }
+
+ private:
+  PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
+               MaybeOwned<DistMatrix> a, const Preconditioner& m,
+               PipelinedPcgOptions opts);
+
+  struct LoopState;  // the recurrence vectors + replicated scalars
+
+  void inject_failures(const std::vector<NodeId>& nodes, DistVector& x,
+                       LoopState& st);
+
+  /// ESR recovery of the full pipelined state after the merged failure set
+  /// `failed`: exact reconstruction of x/r/u/p (+ previous generations) from
+  /// the backups, relation-based rebuild of s/q/z/w, full recompute of the
+  /// in-flight m/n. Returns Alg. 2 stats.
+  RecoveryStats recover(std::span<const NodeId> failed, const DistVector& b,
+                        DistVector& x, LoopState& st);
+
+  Cluster& cluster_;
+  const CsrMatrix* a_global_;
+  const Preconditioner* m_;
+  PipelinedPcgOptions opts_;
+  MaybeOwned<DistMatrix> a_;
+  RedundancyScheme scheme_;
+  BackupStore store_p_;  // p^(j), p^(j-1) — the paper's backup set
+  BackupStore store_u_;  // u^(j), u^(j-1) — the pipelined extension
+  double redundancy_step_cost_ = 0.0;
+};
+
+}  // namespace rpcg

@@ -195,7 +195,7 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     return res;
   }
 
-  std::vector<char> fired(schedule.events().size(), 0);
+  FailureCursor cursor(schedule);
   double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
 
   for (int j = 0; j < opts_.max_iterations; ++j) {
@@ -234,18 +234,14 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     }
 
     // --- Failure injection point: copies of p̂ and ŝ are distributed. ---
-    std::vector<NodeId> merged;
-    for (std::size_t idx = 0; idx < schedule.events().size(); ++idx) {
-      if (fired[idx] || schedule.events()[idx].iteration != j) continue;
-      merged.insert(merged.end(), schedule.events()[idx].nodes.begin(),
-                    schedule.events()[idx].nodes.end());
-    }
-    if (!merged.empty()) {
+    const std::vector<int> evs = cursor.take_due(j);
+    if (!evs.empty()) {
       RPCG_CHECK(opts_.phi > 0, "failures injected into a non-resilient solver");
-      for (std::size_t idx = 0; idx < schedule.events().size(); ++idx) {
-        if (fired[idx] || schedule.events()[idx].iteration != j) continue;
-        fired[idx] = 1;
-        for (const NodeId f : schedule.events()[idx].nodes) {
+      std::vector<NodeId> merged;
+      for (const int idx : evs) {
+        const FailureEvent& ev = cursor.event(idx);
+        merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+        for (const NodeId f : ev.nodes) {
           cluster_.fail_node(f);
           for (DistVector* vec : {&x, &r, &r0, &p, &v, &s, &t, &phat, &shat})
             vec->invalidate(f);
@@ -253,7 +249,7 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
           store_shat_.invalidate_node(f);
         }
         if (opts_.events.on_failure_injected)
-          opts_.events.on_failure_injected(schedule.events()[idx]);
+          opts_.events.on_failure_injected(ev);
       }
       recover(merged, alpha, b, r0_pristine, x, r, r0, p, v, s, t, phat, shat,
               res.recoveries, j);

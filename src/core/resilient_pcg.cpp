@@ -8,6 +8,7 @@
 #include "core/factorization_cache.hpp"
 #include "core/interpolation_restart.hpp"
 #include "sim/collectives.hpp"
+#include "solver/pcg_kernel.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -76,27 +77,18 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     clock_at_entry[static_cast<std::size_t>(ph)] =
         cluster_.clock().in_phase(static_cast<Phase>(ph));
 
-  DistVector r(part), z(part), p(part), p_prev(part), u(part);
-  std::vector<std::vector<double>> halos;
+  PcgKernel kernel(cluster_, *a_, *m_);
   const Phase it = Phase::kIteration;
 
   // Line 1 of Alg. 1: r = b - A x, z = M^{-1} r, p = z. p_prev stays zero
   // (p^(-1) = 0, consistent with beta^(-1) = 0 at a j = 0 failure).
-  a_->spmv(cluster_, x, u, halos, it);
-  copy(cluster_, b, r, it);
-  axpy(cluster_, -1.0, u, r, it);
-  m_->apply(cluster_, r, z, it);
-  copy(cluster_, z, p, it);
-
-  DotPair d0 = dot_pair(cluster_, r, z, it);
-  double rz = d0.rz;
+  const DotPair d0 = kernel.initialize(b, x, it);
   const double rnorm0 = std::sqrt(d0.rr);
-  double beta_prev = 0.0;
 
   ResilientPcgResult res;
   CheckpointStorage ckpt;
   int last_ckpt_saved_at = -1;
-  std::vector<char> fired(schedule.events().size(), 0);
+  FailureCursor cursor(schedule);
   const EsrReconstructor reconstructor(*a_global_, *m_, opts_.esr);
 
   bool done = rnorm0 == 0.0;
@@ -107,7 +99,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     // Checkpoint/restart baseline: periodic state save at the loop top.
     if (opts_.method == RecoveryMethod::kCheckpointRestart &&
         j % opts_.checkpoint_interval == 0 && j != last_ckpt_saved_at) {
-      ckpt.save(cluster_, j, x, r, z, p, rz, beta_prev);
+      ckpt.save(cluster_, j, x, kernel.r, kernel.z, kernel.p, kernel.rz,
+                kernel.beta_prev);
       last_ckpt_saved_at = j;
       ++res.checkpoints_written;
       if (opts_.events.on_checkpoint)
@@ -117,17 +110,14 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     // Lines 3/5 SpMV: u = A p. With ESR, the redundant copies of p^(j) are
     // piggybacked on this exchange and every receiver retains two
     // generations (the backup store rotates cur -> prev).
-    a_->spmv(cluster_, p, u, halos, it);
+    kernel.spmv_direction(it);
     if (opts_.phi > 0) {
-      store_.record(p);
+      store_.record(kernel.p);
       cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     // --- Failure injection point (backups of p^(j), p^(j-1) in place). ---
-    std::vector<int> evs;
-    for (std::size_t idx = 0; idx < schedule.events().size(); ++idx)
-      if (!fired[idx] && schedule.events()[idx].iteration == j)
-        evs.push_back(static_cast<int>(idx));
+    const std::vector<int> evs = cursor.take_due(j);
 
     bool skip_update = false;
     if (!evs.empty()) {
@@ -139,8 +129,7 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           std::vector<NodeId> merged;
           bool first = true;
           for (const int idx : evs) {
-            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
-            fired[static_cast<std::size_t>(idx)] = 1;
+            const FailureEvent& ev = cursor.event(idx);
             if (!first && ev.during_recovery) {
               // Overlapping failure: the reconstruction of `merged` was
               // underway. Charge the work performed so far (the gather, its
@@ -151,7 +140,7 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
               if (opts_.esr.cache != nullptr)
                 (void)opts_.esr.cache->invalidate_overlapping(merged);
             }
-            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            inject_failures(ev.nodes, kernel.state_vectors(x));
             if (opts_.events.on_failure_injected)
               opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
@@ -160,22 +149,22 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           RecoveryRecord rec;
           rec.iteration = j;
           rec.nodes = merged;
-          rec.stats = reconstructor.recover(cluster_, merged, store_, beta_prev,
-                                            b, x, r, z, p, p_prev);
+          rec.stats = reconstructor.recover(cluster_, merged, store_,
+                                            kernel.beta_prev, b, x, kernel.r,
+                                            kernel.z, kernel.p, kernel.p_prev);
           res.recoveries.push_back(std::move(rec));
           if (opts_.events.on_recovery_complete)
             opts_.events.on_recovery_complete(res.recoveries.back());
           // Resume iteration j: recompute u = A p on the recovered state.
-          for (const NodeId f : merged) u.revalidate_zero(f);
-          a_->spmv(cluster_, p, u, halos, Phase::kRecovery);
+          for (const NodeId f : merged) kernel.u.revalidate_zero(f);
+          kernel.spmv_direction(Phase::kRecovery);
           break;
         }
         case RecoveryMethod::kCheckpointRestart: {
           std::vector<NodeId> merged;
           for (const int idx : evs) {
-            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
-            fired[static_cast<std::size_t>(idx)] = 1;
-            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            const FailureEvent& ev = cursor.event(idx);
+            inject_failures(ev.nodes, kernel.state_vectors(x));
             if (opts_.events.on_failure_injected)
               opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
@@ -183,10 +172,11 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           cluster_.charge_allreduce(Phase::kRecovery, 1);  // detection
           for (const NodeId f : merged) cluster_.replace_node(f);
           const double t0 = cluster_.clock().in_phase(Phase::kRecovery);
-          ckpt.restore(cluster_, x, r, z, p, rz, beta_prev);
+          ckpt.restore(cluster_, x, kernel.r, kernel.z, kernel.p, kernel.rz,
+                       kernel.beta_prev);
           for (const NodeId f : merged) {
-            u.revalidate_zero(f);
-            p_prev.revalidate_zero(f);  // rebuilt before it is needed again
+            kernel.u.revalidate_zero(f);
+            kernel.p_prev.revalidate_zero(f);  // rebuilt before it is needed again
           }
           RecoveryRecord rec;
           rec.iteration = j;
@@ -206,9 +196,8 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
         case RecoveryMethod::kInterpolationRestart: {
           std::vector<NodeId> merged;
           for (const int idx : evs) {
-            const FailureEvent& ev = schedule.events()[static_cast<std::size_t>(idx)];
-            fired[static_cast<std::size_t>(idx)] = 1;
-            inject_failures(ev.nodes, {&x, &r, &z, &p, &p_prev, &u});
+            const FailureEvent& ev = cursor.event(idx);
+            inject_failures(ev.nodes, kernel.state_vectors(x));
             if (opts_.events.on_failure_injected)
               opts_.events.on_failure_injected(ev);
             merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
@@ -224,20 +213,14 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
           // Restart CG from the interpolated iterate: the Krylov history is
           // lost (r, z, p rebuilt from scratch).
           for (const NodeId f : merged) {
-            r.revalidate_zero(f);
-            z.revalidate_zero(f);
-            p.revalidate_zero(f);
-            p_prev.revalidate_zero(f);
-            u.revalidate_zero(f);
+            kernel.r.revalidate_zero(f);
+            kernel.z.revalidate_zero(f);
+            kernel.p.revalidate_zero(f);
+            kernel.p_prev.revalidate_zero(f);
+            kernel.u.revalidate_zero(f);
           }
-          a_->spmv(cluster_, x, u, halos, Phase::kRecovery);
-          copy(cluster_, b, r, Phase::kRecovery);
-          axpy(cluster_, -1.0, u, r, Phase::kRecovery);
-          m_->apply(cluster_, r, z, Phase::kRecovery);
-          copy(cluster_, z, p, Phase::kRecovery);
-          const DotPair dr = dot_pair(cluster_, r, z, Phase::kRecovery);
-          rz = dr.rz;
-          beta_prev = 0.0;
+          (void)kernel.initialize(b, x, Phase::kRecovery);
+          kernel.beta_prev = 0.0;
           skip_update = true;
           break;
         }
@@ -246,13 +229,10 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     if (skip_update) continue;
 
     // Lines 3-8 of Alg. 1.
-    const double pap = dot(cluster_, p, u, it);
-    RPCG_REQUIRE(pap > 0.0, "matrix is not positive definite along p");
-    const double alpha = rz / pap;
-    axpy(cluster_, alpha, p, x, it);
-    axpy(cluster_, -alpha, u, r, it);
-    m_->apply(cluster_, r, z, it);
-    const DotPair d = dot_pair(cluster_, r, z, it);
+    const double pap = kernel.direction_curvature(it);
+    const double alpha = kernel.rz / pap;
+    kernel.descend(alpha, x, it);
+    const DotPair d = kernel.precondition(it);
     ++res.iterations;
     res.rel_residual = std::sqrt(d.rr) / rnorm0;
     res.solver_residual_norm = std::sqrt(d.rr);
@@ -261,9 +241,9 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
       snap.iteration = res.iterations;
       snap.rel_residual = res.rel_residual;
       snap.x = &x;
-      snap.r = &r;
-      snap.z = &z;
-      snap.p = &p;
+      snap.r = &kernel.r;
+      snap.z = &kernel.z;
+      snap.p = &kernel.p;
       if (opts_.observer) opts_.observer(snap);
       if (opts_.events.on_iteration) opts_.events.on_iteration(snap);
     }
@@ -271,16 +251,7 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
       res.converged = true;
       break;
     }
-    const double beta = d.rz / rz;
-    beta_prev = beta;
-    rz = d.rz;
-    {
-      // Keeping p^(j) as the previous direction is a local pointer swap in a
-      // real implementation; it costs no time.
-      ClockPause pause(cluster_.clock());
-      copy(cluster_, p, p_prev, it);
-    }
-    xpby(cluster_, z, beta, p, it);
+    kernel.advance_direction(d, /*track_prev=*/true, it);
     ++j;
   }
 

@@ -1,11 +1,64 @@
 #include "engine/problem.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/registry.hpp"
+#include "util/rng.hpp"
 
 namespace rpcg::engine {
+
+namespace {
+
+/// Seeded random solution smoothed over the matrix graph: uniform [-1, 1)
+/// start, then a few Jacobi-style neighbor-averaging sweeps. Smooth enough
+/// that block preconditioners behave as on the harness's sinusoidal target,
+/// random enough that no component is special.
+std::vector<double> random_smooth_solution(const CsrMatrix& a,
+                                           std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::vector<double> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> next(n);
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      const auto cols = a.row_cols(i);
+      double sum = 0.0;
+      for (const Index c : cols) sum += x[static_cast<std::size_t>(c)];
+      const auto deg = static_cast<double>(cols.size());
+      next[static_cast<std::size_t>(i)] =
+          0.5 * x[static_cast<std::size_t>(i)] +
+          0.5 * (deg > 0.0 ? sum / deg : 0.0);
+    }
+    x.swap(next);
+  }
+  return x;
+}
+
+/// Whitespace-separated doubles; '#'/'%' lines are comments.
+std::vector<double> read_rhs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("ProblemBuilder: cannot open rhs file '" +
+                                path + "'");
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && (line[0] == '#' || line[0] == '%')) continue;
+    std::istringstream ls(line);
+    double v = 0.0;
+    while (ls >> v) values.push_back(v);
+    if (!ls.eof())
+      throw std::invalid_argument("ProblemBuilder: rhs file '" + path +
+                                  "' contains a non-numeric token");
+  }
+  return values;
+}
+
+}  // namespace
 
 Cluster Problem::make_cluster() const {
   Cluster cluster(partition_, comm_);
@@ -62,15 +115,81 @@ ProblemBuilder& ProblemBuilder::borrow_preconditioner(const Preconditioner& m) {
 }
 
 ProblemBuilder& ProblemBuilder::rhs(std::vector<double> b_global) {
+  rhs_mode_ = RhsMode::kVector;
   rhs_global_ = std::move(b_global);
   x_true_.clear();
   return *this;
 }
 
 ProblemBuilder& ProblemBuilder::rhs_from_solution(std::vector<double> x_true) {
+  rhs_mode_ = RhsMode::kSolution;
   x_true_ = std::move(x_true);
   rhs_global_.clear();
   return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs_ones() {
+  rhs_mode_ = RhsMode::kOnes;
+  rhs_global_.clear();
+  x_true_.clear();
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs_random_smooth(std::uint64_t seed) {
+  rhs_mode_ = RhsMode::kRandomSmooth;
+  rhs_seed_ = seed;
+  rhs_global_.clear();
+  x_true_.clear();
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs_from_file(std::string path) {
+  rhs_mode_ = RhsMode::kFromFile;
+  rhs_path_ = std::move(path);
+  rhs_global_.clear();
+  x_true_.clear();
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::rhs_strategy(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (name == "ones") {
+    if (!arg.empty())
+      throw std::invalid_argument(
+          "ProblemBuilder: rhs strategy 'ones' takes no argument");
+    return rhs_ones();
+  }
+  if (name == "random-smooth") {
+    std::uint64_t seed = 0;
+    if (!arg.empty()) {
+      std::size_t pos = 0;
+      try {
+        seed = std::stoull(arg, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      // Reject trailing garbage ("7abc") and sign characters ("-1", which
+      // stoull would happily wrap) — the registry-style contract is strict.
+      if (pos != arg.size() || arg[0] == '-' || arg[0] == '+')
+        throw std::invalid_argument(
+            "ProblemBuilder: rhs strategy 'random-smooth' needs a numeric "
+            "seed, got '" + arg + "'");
+    }
+    return rhs_random_smooth(seed);
+  }
+  if (name == "from-file") {
+    if (arg.empty())
+      throw std::invalid_argument(
+          "ProblemBuilder: rhs strategy 'from-file' needs a path "
+          "(from-file:PATH)");
+    return rhs_from_file(arg);
+  }
+  throw std::invalid_argument(
+      "ProblemBuilder: unknown rhs strategy '" + name +
+      "'; valid strategies: from-file:PATH, ones, random-smooth[:seed]");
 }
 
 ProblemBuilder& ProblemBuilder::comm(CommParams params) {
@@ -114,20 +233,33 @@ Problem ProblemBuilder::build() {
   p.precond_name_ = precond_name_;
 
   std::vector<double> b_global;
-  if (!rhs_global_.empty()) {
-    if (rhs_global_.size() != n)
-      throw std::invalid_argument("ProblemBuilder: rhs size " +
-                                  std::to_string(rhs_global_.size()) +
-                                  " != matrix rows " + std::to_string(n));
-    b_global = std::move(rhs_global_);
+  if (rhs_mode_ == RhsMode::kVector || rhs_mode_ == RhsMode::kFromFile) {
+    b_global = rhs_mode_ == RhsMode::kFromFile ? read_rhs_file(rhs_path_)
+                                               : std::move(rhs_global_);
+    if (b_global.size() != n)
+      throw std::invalid_argument(
+          "ProblemBuilder: rhs size " + std::to_string(b_global.size()) +
+          (rhs_mode_ == RhsMode::kFromFile ? " (from '" + rhs_path_ + "')"
+                                           : "") +
+          " != matrix rows " + std::to_string(n));
   } else {
-    std::vector<double> x_true = std::move(x_true_);
-    if (x_true.empty()) {
-      x_true.assign(n, 1.0);
-    } else if (x_true.size() != n) {
-      throw std::invalid_argument("ProblemBuilder: solution size " +
-                                  std::to_string(x_true.size()) +
-                                  " != matrix rows " + std::to_string(n));
+    std::vector<double> x_true;
+    switch (rhs_mode_) {
+      case RhsMode::kOnes:
+        x_true.assign(n, 1.0);
+        break;
+      case RhsMode::kRandomSmooth:
+        x_true = random_smooth_solution(a, rhs_seed_);
+        break;
+      case RhsMode::kSolution:
+        x_true = std::move(x_true_);
+        if (x_true.size() != n)
+          throw std::invalid_argument("ProblemBuilder: solution size " +
+                                      std::to_string(x_true.size()) +
+                                      " != matrix rows " + std::to_string(n));
+        break;
+      default:
+        break;  // unreachable; kVector/kFromFile handled above
     }
     b_global.resize(n);
     a.spmv(x_true, b_global);

@@ -134,6 +134,26 @@ class ProblemBuilder {
   /// b = A * x_true for a known solution x_true (the harness convention).
   ProblemBuilder& rhs_from_solution(std::vector<double> x_true);
 
+  // Named right-hand-side strategies. The last rhs-setter wins, like every
+  // other builder knob.
+
+  /// b = A * ones — today's default, made explicit.
+  ProblemBuilder& rhs_ones();
+  /// b = A * x_true for a seeded random solution smoothed over the matrix
+  /// graph (a few neighbor-averaging sweeps), so the solve target is
+  /// non-trivial but not adversarially rough.
+  ProblemBuilder& rhs_random_smooth(std::uint64_t seed);
+  /// b read from a text file of whitespace-separated doubles ('#'/'%'
+  /// comment lines allowed); must hold exactly one value per matrix row.
+  /// Read at build() time; a missing/short/oversized file throws
+  /// std::invalid_argument.
+  ProblemBuilder& rhs_from_file(std::string path);
+  /// Strategy by name, registry-style: "ones", "random-smooth[:seed]",
+  /// "from-file:PATH". Unknown names throw std::invalid_argument listing
+  /// the valid strategies — the same UX as the solver/preconditioner
+  /// registries, so CLI layers can forward a --rhs flag verbatim.
+  ProblemBuilder& rhs_strategy(const std::string& spec);
+
   ProblemBuilder& comm(CommParams params);
   ProblemBuilder& noise(double cv, std::uint64_t seed);
 
@@ -143,6 +163,8 @@ class ProblemBuilder {
   [[nodiscard]] Problem build();
 
  private:
+  enum class RhsMode { kOnes, kVector, kSolution, kRandomSmooth, kFromFile };
+
   MaybeOwned<CsrMatrix> a_global_;
   int nodes_ = 16;
   Partition partition_;
@@ -150,8 +172,11 @@ class ProblemBuilder {
   const DistMatrix* borrowed_dist_ = nullptr;
   std::string precond_name_ = "bjacobi";
   MaybeOwned<Preconditioner> precond_;
+  RhsMode rhs_mode_ = RhsMode::kOnes;
   std::vector<double> rhs_global_;
   std::vector<double> x_true_;
+  std::uint64_t rhs_seed_ = 0;
+  std::string rhs_path_;
   CommParams comm_{};
   double noise_cv_ = 0.0;
   std::uint64_t noise_seed_ = 0;

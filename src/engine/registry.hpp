@@ -9,7 +9,8 @@
 // The built-in families register themselves on first use of instance()
 // (deterministic, immune to static-library dead stripping):
 //
-//   solvers:          "pcg", "resilient-pcg", "resilient-bicgstab",
+//   solvers:          "pcg", "resilient-pcg", "pipelined-pcg",
+//                     "pipelined-resilient-pcg", "resilient-bicgstab",
 //                     "stationary"
 //   preconditioners:  "none", "jacobi", "bjacobi", "ssor", "ic0-split"
 //                     (aliases: "identity" -> none, "ic0" -> ic0-split)

@@ -90,6 +90,14 @@ std::string SolveReport::to_json(int indent) const {
   w.field("wall_seconds", fmt(wall_seconds));
   w.field("redundancy_overhead_per_iteration",
           fmt(redundancy_overhead_per_iteration));
+  if (report_reductions) {
+    w.open_field("reduction_time", "{");
+    w.field("posted", fmt(reductions.posted_s));
+    w.field("hidden", fmt(reductions.hidden_s));
+    w.field("exposed", fmt(reductions.exposed_s));
+    w.field("count", std::to_string(reductions.count), false);
+    w.close("}", true);
+  }
   w.field("checkpoints_written", std::to_string(checkpoints_written));
   w.field("rolled_back_iterations", std::to_string(rolled_back_iterations));
   w.open_field("recoveries", "[");

@@ -48,6 +48,14 @@ struct SolveReport {
   /// Failure-free per-iteration cost of the redundant copies (Sec. 4.2).
   double redundancy_overhead_per_iteration = 0.0;
 
+  /// Split-phase reduction accounting of the solve's cluster (posted =
+  /// hidden + exposed; see sim/collectives.hpp). Populated in memory for
+  /// every registry solver; serialized only when `report_reductions` is set
+  /// (the pipelined solvers), so the `rpcg-solve-report/v1` JSON of the
+  /// pre-existing solvers stays byte-identical.
+  ReductionTimes reductions;
+  bool report_reductions = false;
+
   [[nodiscard]] double recovery_sim_time() const {
     return sim_time_phase[static_cast<std::size_t>(Phase::kRecovery)];
   }

@@ -6,6 +6,7 @@
 // wraps the native result into a SolveReport. Adding a family is one more
 // adapter + one register_solver() line here — nothing else in the repo
 // needs to know about it.
+#include "core/pipelined_pcg.hpp"
 #include "core/resilient_bicgstab.hpp"
 #include "core/resilient_pcg.hpp"
 #include "engine/registry.hpp"
@@ -59,7 +60,9 @@ class PcgSolver final : public Solver {
     const PcgResult res = pcg_solve(cluster, problem.matrix(),
                                     problem.preconditioner(), problem.rhs(), x,
                                     opts);
-    return make_report(name(), problem.preconditioner_name(), res);
+    SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
+    rep.reductions = cluster.reduction_times();
+    return rep;
   }
 
  private:
@@ -92,11 +95,61 @@ class ResilientPcgSolver final : public Solver {
     SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
     rep.redundancy_overhead_per_iteration =
         engine.redundancy_overhead_per_iteration();
+    rep.reductions = cluster.reduction_times();
     return rep;
   }
 
  private:
   SolverConfig config_;
+};
+
+/// Communication-hiding PCG (core/pipelined_pcg.hpp). One engine serves
+/// both registry keys: "pipelined-pcg" pins phi = 0 and rejects failure
+/// schedules; "pipelined-resilient-pcg" wires in the ESR configuration.
+/// Both opt into the reduction_time block of the report JSON — overlap
+/// accounting is the point of the pipelined family.
+class PipelinedSolver final : public Solver {
+ public:
+  PipelinedSolver(const SolverConfig& config, bool resilient)
+      : config_(config), resilient_(resilient) {}
+
+  [[nodiscard]] std::string name() const override {
+    return resilient_ ? "pipelined-resilient-pcg" : "pipelined-pcg";
+  }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    if (!resilient_) {
+      RPCG_CHECK(schedule.empty(),
+                 "'pipelined-pcg' tolerates no failures; use "
+                 "'pipelined-resilient-pcg'");
+    }
+    Cluster cluster = make_cluster(problem, config_);
+    PipelinedPcgOptions opts;
+    opts.pcg.rtol = config_.rtol;
+    opts.pcg.max_iterations = config_.max_iterations;
+    if (resilient_) {
+      opts.phi = config_.phi;
+      opts.strategy = config_.strategy;
+      opts.strategy_seed = config_.strategy_seed;
+      opts.esr = config_.esr;
+      opts.esr.cache = esr_cache(problem, config_);
+    }
+    opts.events = config_.events;
+    PipelinedPcg engine(cluster, problem.matrix_global(), problem.matrix(),
+                        problem.preconditioner(), opts);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, schedule);
+    SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
+    rep.redundancy_overhead_per_iteration =
+        engine.redundancy_overhead_per_iteration();
+    rep.reductions = cluster.reduction_times();
+    rep.report_reductions = true;
+    return rep;
+  }
+
+ private:
+  SolverConfig config_;
+  bool resilient_;
 };
 
 class BicgstabSolver final : public Solver {
@@ -121,8 +174,10 @@ class BicgstabSolver final : public Solver {
     opts.events = config_.events;
     ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
                              problem.preconditioner(), opts);
-    return make_report(name(), problem.preconditioner_name(),
-                       engine.solve(problem.rhs(), x, schedule));
+    SolveReport rep = make_report(name(), problem.preconditioner_name(),
+                                  engine.solve(problem.rhs(), x, schedule));
+    rep.reductions = cluster.reduction_times();
+    return rep;
   }
 
  private:
@@ -152,8 +207,10 @@ class StationarySolver final : public Solver {
     // The stationary family ignores the Problem's preconditioner ("none");
     // `solver` stays the registry key per the SolveReport contract, and the
     // method actually swept is the config's stationary_method.
-    return make_report(name(), "none",
-                       engine.solve(problem.rhs(), x, schedule));
+    SolveReport rep =
+        make_report(name(), "none", engine.solve(problem.rhs(), x, schedule));
+    rep.reductions = cluster.reduction_times();
+    return rep;
   }
 
  private:
@@ -191,6 +248,12 @@ void register_builtin_solvers(SolverRegistry& registry) {
   });
   registry.register_solver("resilient-pcg", [](const SolverConfig& c) {
     return std::unique_ptr<Solver>(new ResilientPcgSolver(c));
+  });
+  registry.register_solver("pipelined-pcg", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new PipelinedSolver(c, /*resilient=*/false));
+  });
+  registry.register_solver("pipelined-resilient-pcg", [](const SolverConfig& c) {
+    return std::unique_ptr<Solver>(new PipelinedSolver(c, /*resilient=*/true));
   });
   registry.register_solver("resilient-bicgstab", [](const SolverConfig& c) {
     return std::unique_ptr<Solver>(new BicgstabSolver(c));

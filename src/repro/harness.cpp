@@ -35,6 +35,7 @@ ExperimentRunner::ExperimentRunner(const CsrMatrix& a, ExperimentConfig cfg)
                    .nodes(cfg.num_nodes)
                    .preconditioner(cfg.precond)
                    .rhs_from_solution(smooth_solution(a.rows()))
+                   .comm(cfg.comm)
                    .build()) {}
 
 engine::SolverConfig ExperimentRunner::base_config() const {

@@ -35,6 +35,9 @@ struct ExperimentConfig {
   /// Host-side execution of the simulator's per-node loops; threaded runs
   /// are bit-for-bit identical to sequential ones (determinism battery).
   ExecutionPolicy exec;
+  /// Interconnect cost model of the minted clusters (VSC3-like defaults).
+  /// The comm-bound studies sweep latency_s through this.
+  CommParams comm;
 };
 
 /// Where the contiguous failed ranks start (paper Sec. 7.1).

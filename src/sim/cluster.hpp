@@ -28,6 +28,19 @@ enum class Phase : int {
 };
 inline constexpr int kNumPhases = 4;
 
+/// Aggregate split-phase reduction accounting (see sim/collectives.hpp):
+/// every posted reduction contributes its full tree latency to `posted_s`;
+/// the part overlapped by work charged between post and wait() goes to
+/// `hidden_s`, the remainder charged to the clock at wait() to `exposed_s`
+/// (posted_s == hidden_s + exposed_s). Blocking collectives are post+wait
+/// with nothing in between, so for them everything is exposed.
+struct ReductionTimes {
+  double posted_s = 0.0;   ///< total reduction latency posted
+  double hidden_s = 0.0;   ///< overlapped by work between post and wait
+  double exposed_s = 0.0;  ///< charged to the clock at wait()
+  int count = 0;           ///< reductions posted
+};
+
 class SimClock {
  public:
   /// Advances the clock by `seconds`, attributed to `phase`. When a noise
@@ -115,11 +128,25 @@ class Cluster {
   /// Charges an allreduce over the currently-alive nodes.
   void charge_allreduce(Phase phase, int scalars);
 
+  /// Split-phase reduction accounting, accumulated by PendingReduction
+  /// (sim/collectives.hpp) at wait() time. Diagnostic reductions executed
+  /// under a paused clock are not counted.
+  void account_reduction(double posted_s, double hidden_s, double exposed_s) {
+    reductions_.posted_s += posted_s;
+    reductions_.hidden_s += hidden_s;
+    reductions_.exposed_s += exposed_s;
+    ++reductions_.count;
+  }
+  [[nodiscard]] const ReductionTimes& reduction_times() const {
+    return reductions_;
+  }
+
  private:
   Partition partition_;
   CommModel comm_;
   SimClock clock_;
   ExecutionPolicy exec_;
+  ReductionTimes reductions_;
   std::vector<bool> alive_;
   int alive_count_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "sim/collectives.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/check.hpp"
@@ -21,22 +22,62 @@ void charge_blas1(Cluster& cluster, double flops_per_element, Phase phase) {
 
 }  // namespace
 
-double allreduce_sum(Cluster& cluster, std::span<const double> per_node,
-                     Phase phase) {
-  RPCG_CHECK(static_cast<int>(per_node.size()) == cluster.num_nodes(),
-             "one contribution per node required");
-  double sum = 0.0;
-  for (const double v : per_node) sum += v;  // fixed order: deterministic
-  cluster.charge_allreduce(phase, 1);
-  return sum;
+void PendingReduction::wait() {
+  if (!pending()) return;
+  Cluster& cluster = *cluster_;
+  cluster_ = nullptr;
+  // Work charged (to any phase) since the post hides reduction latency; only
+  // the remainder is exposed and advances the clock now.
+  const double elapsed = cluster.clock().total() - posted_at_;
+  const double exposed = std::max(0.0, cost_ - elapsed);
+  cluster.clock().advance(phase_, exposed);
+  // Diagnostic reductions under a paused clock charge nothing and must not
+  // distort the overlap totals either.
+  if (!cluster.clock().paused())
+    cluster.account_reduction(cost_, cost_ - exposed, exposed);
 }
 
-double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
-           Phase phase) {
+double PendingReduction::value(int i) const {
+  RPCG_CHECK(!pending(), "reduction result read before wait()");
+  RPCG_CHECK(i >= 0 && i < scalars_, "reduction scalar index out of range");
+  return values_[static_cast<std::size_t>(i)];
+}
+
+PendingReduction post_allreduce(Cluster& cluster,
+                                std::span<const double> per_node, int scalars,
+                                Phase phase) {
+  RPCG_CHECK(scalars >= 1 && scalars <= PendingReduction::kMaxScalars,
+             "unsupported reduction width");
+  RPCG_CHECK(static_cast<int>(per_node.size()) ==
+                 cluster.num_nodes() * scalars,
+             "one contribution per node and scalar required");
+  PendingReduction red;
+  red.cluster_ = &cluster;
+  red.scalars_ = scalars;
+  red.phase_ = phase;
+  red.posted_at_ = cluster.clock().total();
+  red.cost_ = cluster.comm().allreduce_cost(cluster.alive_count(), scalars);
+  // The reduced values are fixed at post time, summed in node order per
+  // scalar — deterministic, and independent of when wait() runs.
+  for (int i = 0; i < cluster.num_nodes(); ++i)
+    for (int s = 0; s < scalars; ++s)
+      red.values_[static_cast<std::size_t>(s)] +=
+          per_node[static_cast<std::size_t>(i * scalars + s)];
+  return red;
+}
+
+PendingReduction iallreduce_sum(Cluster& cluster,
+                                std::span<const double> per_node, Phase phase) {
+  return post_allreduce(cluster, per_node, 1, phase);
+}
+
+PendingReduction idot(Cluster& cluster, const DistVector& a,
+                      const DistVector& b, Phase phase) {
   const int nn = cluster.num_nodes();
   std::vector<double> partial(static_cast<std::size_t>(nn), 0.0);
   // Per-node partials computed independently (possibly on the worker pool),
-  // then reduced in node order by allreduce_sum — bitwise identical either way.
+  // then reduced in node order by post_allreduce — bitwise identical either
+  // way.
   exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
                     [&](std::size_t i) {
                       const auto ab = a.block(static_cast<NodeId>(i));
@@ -47,13 +88,13 @@ double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
                       partial[i] = s;
                     });
   charge_blas1(cluster, 2.0, phase);
-  return allreduce_sum(cluster, partial, phase);
+  return post_allreduce(cluster, partial, 1, phase);
 }
 
-DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
-                 Phase phase) {
+PendingReduction idot_pair(Cluster& cluster, const DistVector& r,
+                           const DistVector& z, Phase phase) {
   const int nn = cluster.num_nodes();
-  std::vector<DotPair> partial(static_cast<std::size_t>(nn));
+  std::vector<double> partial(static_cast<std::size_t>(nn) * 2, 0.0);
   exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
                     [&](std::size_t i) {
                       const auto rb = r.block(static_cast<NodeId>(i));
@@ -63,16 +104,56 @@ DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
                         rz += rb[k] * zb[k];
                         rr += rb[k] * rb[k];
                       }
-                      partial[i] = {rz, rr};
+                      partial[i * 2] = rz;
+                      partial[i * 2 + 1] = rr;
                     });
-  DotPair out;
-  for (const DotPair& p : partial) {  // fixed node order: deterministic
-    out.rz += p.rz;
-    out.rr += p.rr;
-  }
   charge_blas1(cluster, 4.0, phase);
-  cluster.charge_allreduce(phase, 2);
-  return out;
+  return post_allreduce(cluster, partial, 2, phase);
+}
+
+PendingReduction ipipelined_dots(Cluster& cluster, const DistVector& r,
+                                 const DistVector& u, const DistVector& w,
+                                 Phase phase) {
+  const int nn = cluster.num_nodes();
+  std::vector<double> partial(static_cast<std::size_t>(nn) * 3, 0.0);
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto rb = r.block(static_cast<NodeId>(i));
+                      const auto ub = u.block(static_cast<NodeId>(i));
+                      const auto wb = w.block(static_cast<NodeId>(i));
+                      double ru = 0.0, wu = 0.0, rr = 0.0;
+                      for (std::size_t k = 0; k < rb.size(); ++k) {
+                        ru += rb[k] * ub[k];
+                        wu += wb[k] * ub[k];
+                        rr += rb[k] * rb[k];
+                      }
+                      partial[i * 3] = ru;
+                      partial[i * 3 + 1] = wu;
+                      partial[i * 3 + 2] = rr;
+                    });
+  charge_blas1(cluster, 6.0, phase);
+  return post_allreduce(cluster, partial, 3, phase);
+}
+
+double allreduce_sum(Cluster& cluster, std::span<const double> per_node,
+                     Phase phase) {
+  PendingReduction red = iallreduce_sum(cluster, per_node, phase);
+  red.wait();
+  return red.value(0);
+}
+
+double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
+           Phase phase) {
+  PendingReduction red = idot(cluster, a, b, phase);
+  red.wait();
+  return red.value(0);
+}
+
+DotPair dot_pair(Cluster& cluster, const DistVector& r, const DistVector& z,
+                 Phase phase) {
+  PendingReduction red = idot_pair(cluster, r, z, phase);
+  red.wait();
+  return {red.value(0), red.value(1)};
 }
 
 void axpy(Cluster& cluster, double alpha, const DistVector& x, DistVector& y,

@@ -3,8 +3,23 @@
 // in node order) — the replicated scalars alpha, beta of the PCG solver have
 // the same value on every node, as assumed by the paper for the recovery of
 // beta^(j-1).
+//
+// Reductions are split-phase (MPI_Iallreduce-style): i-prefixed calls *post*
+// a reduction and return a PendingReduction handle; wait() *completes* it.
+// The numeric result is fixed at post time (node-ordered summation, so
+// timing can never change values), but the cost model charges only the part
+// of the tree-allreduce latency that was not hidden by work charged between
+// post and wait:
+//
+//   exposed = max(0, allreduce_cost - time charged since post)
+//
+// The classic blocking calls (allreduce_sum, dot, dot_pair) are thin
+// wrappers that post and immediately wait — same charges, same clock
+// advances, bit-for-bit identical to the historical blocking collectives.
+// Per-cluster totals land in Cluster::reduction_times().
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "sim/cluster.hpp"
@@ -12,17 +27,103 @@
 
 namespace rpcg {
 
-/// Allreduce-sum of per-node scalar contributions; returns the (replicated)
-/// result and charges the reduction cost.
+/// A posted (in-flight) reduction of up to kMaxScalars scalars. Move-only:
+/// exactly one wait() completes the reduction and charges its exposed cost.
+/// Destroying a still-pending handle completes it implicitly (so early
+/// returns cannot silently drop a posted charge).
+class PendingReduction {
+ public:
+  static constexpr int kMaxScalars = 4;
+
+  PendingReduction() = default;
+  PendingReduction(PendingReduction&& other) noexcept { steal(other); }
+  PendingReduction& operator=(PendingReduction&& other) noexcept {
+    if (this != &other) {
+      if (pending()) wait();
+      steal(other);
+    }
+    return *this;
+  }
+  PendingReduction(const PendingReduction&) = delete;
+  PendingReduction& operator=(const PendingReduction&) = delete;
+  ~PendingReduction() {
+    if (pending()) wait();
+  }
+
+  /// Completes the reduction: charges the non-overlapped remainder of the
+  /// tree-allreduce latency to the posting phase and records the
+  /// posted/hidden/exposed split on the cluster. Idempotent via pending().
+  void wait();
+
+  [[nodiscard]] bool pending() const { return cluster_ != nullptr; }
+
+  /// i-th reduced scalar; requires wait() first — the values are computed
+  /// at post time, but reading a result the simulated allreduce has not
+  /// delivered yet would let a solver act on data it cannot have.
+  [[nodiscard]] double value(int i = 0) const;
+
+ private:
+  friend PendingReduction post_allreduce(Cluster& cluster,
+                                         std::span<const double> per_node,
+                                         int scalars, Phase phase);
+
+  void steal(PendingReduction& other) {
+    cluster_ = other.cluster_;
+    values_ = other.values_;
+    scalars_ = other.scalars_;
+    phase_ = other.phase_;
+    posted_at_ = other.posted_at_;
+    cost_ = other.cost_;
+    other.cluster_ = nullptr;
+  }
+
+  Cluster* cluster_ = nullptr;  // non-null while pending
+  std::array<double, kMaxScalars> values_{};
+  int scalars_ = 0;
+  Phase phase_ = Phase::kIteration;
+  double posted_at_ = 0.0;  // clock total at post
+  double cost_ = 0.0;       // full tree-allreduce latency
+};
+
+/// Posts an allreduce of `scalars` values. `per_node` is node-major: node
+/// i's contributions occupy [i * scalars, (i + 1) * scalars). Summation runs
+/// in node order per scalar at post time (deterministic).
+[[nodiscard]] PendingReduction post_allreduce(Cluster& cluster,
+                                              std::span<const double> per_node,
+                                              int scalars, Phase phase);
+
+/// Posts an allreduce-sum of per-node scalar contributions (1 scalar).
+[[nodiscard]] PendingReduction iallreduce_sum(Cluster& cluster,
+                                              std::span<const double> per_node,
+                                              Phase phase);
+
+/// Posts the global dot product aᵀb (local dots + 1-scalar allreduce).
+[[nodiscard]] PendingReduction idot(Cluster& cluster, const DistVector& a,
+                                    const DistVector& b, Phase phase);
+
+/// Posts rᵀz and rᵀr as a single batched 2-scalar allreduce — the PCG
+/// engine's per-iteration convergence + beta reduction. value(0) = rᵀz,
+/// value(1) = rᵀr.
+[[nodiscard]] PendingReduction idot_pair(Cluster& cluster, const DistVector& r,
+                                         const DistVector& z, Phase phase);
+
+/// Posts the pipelined-PCG iteration reduction (Ghysels & Vanroose):
+/// value(0) = rᵀu (gamma), value(1) = wᵀu (delta), value(2) = rᵀr, fused
+/// into one 3-scalar allreduce so one latency covers all three.
+[[nodiscard]] PendingReduction ipipelined_dots(Cluster& cluster,
+                                               const DistVector& r,
+                                               const DistVector& u,
+                                               const DistVector& w, Phase phase);
+
+/// Blocking allreduce-sum: post + immediate wait (fully exposed latency).
 double allreduce_sum(Cluster& cluster, std::span<const double> per_node,
                      Phase phase);
 
-/// Global dot product aᵀb (local dots + one allreduce of 1 scalar).
+/// Blocking global dot product aᵀb.
 double dot(Cluster& cluster, const DistVector& a, const DistVector& b,
            Phase phase);
 
-/// Computes rᵀz and rᵀr with a single batched allreduce of 2 scalars — the
-/// PCG engine's per-iteration convergence + beta reduction.
+/// Blocking batched rᵀz / rᵀr reduction.
 struct DotPair {
   double rz = 0.0;
   double rr = 0.0;

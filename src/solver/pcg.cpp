@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/collectives.hpp"
+#include "solver/pcg_kernel.hpp"
 #include "util/check.hpp"
 
 namespace rpcg {
@@ -24,20 +25,11 @@ PcgResult pcg_solve(Cluster& cluster, const DistMatrix& a,
                     const PcgOptions& opts) {
   RPCG_CHECK(cluster.alive_count() == cluster.num_nodes(),
              "plain PCG cannot run with failed nodes");
-  const Partition& part = cluster.partition();
   const Phase ph = Phase::kIteration;
-  DistVector r(part), z(part), p(part), u(part);
-  std::vector<std::vector<double>> halos;
+  PcgKernel kernel(cluster, a, m);
 
   // r^(0) = b - A x^(0); z^(0) = M^{-1} r^(0); p^(0) = z^(0).
-  a.spmv(cluster, x, u, halos, ph);
-  copy(cluster, b, r, ph);
-  axpy(cluster, -1.0, u, r, ph);
-  m.apply(cluster, r, z, ph);
-  copy(cluster, z, p, ph);
-
-  DotPair d0 = dot_pair(cluster, r, z, ph);
-  double rz = d0.rz;
+  const DotPair d0 = kernel.initialize(b, x, ph);
   const double rnorm0 = std::sqrt(d0.rr);
 
   PcgResult res;
@@ -46,14 +38,11 @@ PcgResult pcg_solve(Cluster& cluster, const DistMatrix& a,
     res.solver_residual_norm = 0.0;
   } else {
     for (int j = 0; j < opts.max_iterations; ++j) {
-      a.spmv(cluster, p, u, halos, ph);               // u = A p
-      const double pap = dot(cluster, p, u, ph);      // p^T A p
-      RPCG_REQUIRE(pap > 0.0, "matrix is not positive definite along p");
-      const double alpha = rz / pap;
-      axpy(cluster, alpha, p, x, ph);                 // x += alpha p
-      axpy(cluster, -alpha, u, r, ph);                // r -= alpha A p
-      m.apply(cluster, r, z, ph);                     // z = M^{-1} r
-      const DotPair d = dot_pair(cluster, r, z, ph);  // r^T z and ||r||^2
+      kernel.spmv_direction(ph);                            // u = A p
+      const double pap = kernel.direction_curvature(ph);    // p^T A p
+      const double alpha = kernel.rz / pap;
+      kernel.descend(alpha, x, ph);                         // x += alpha p, r -= alpha A p
+      const DotPair d = kernel.precondition(ph);            // z = M^{-1} r; r^T z, ||r||^2
       res.iterations = j + 1;
       res.rel_residual = std::sqrt(d.rr) / rnorm0;
       res.solver_residual_norm = std::sqrt(d.rr);
@@ -61,9 +50,7 @@ PcgResult pcg_solve(Cluster& cluster, const DistMatrix& a,
         res.converged = true;
         break;
       }
-      const double beta = d.rz / rz;
-      rz = d.rz;
-      xpby(cluster, z, beta, p, ph);                  // p = z + beta p
+      kernel.advance_direction(d, /*track_prev=*/false, ph);  // p = z + beta p
     }
   }
 

@@ -229,7 +229,7 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
     return res;
   }
 
-  std::vector<char> fired(schedule.events().size(), 0);
+  FailureCursor cursor(schedule);
   const double sweep_flops_base = sweep_flops_scale_;
 
   for (int j = 0; j < opts_.max_iterations; ++j) {
@@ -241,18 +241,14 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
     }
 
     // Failure injection point: x's copies are distributed.
-    std::vector<NodeId> merged;
-    for (std::size_t idx = 0; idx < schedule.events().size(); ++idx) {
-      if (fired[idx] || schedule.events()[idx].iteration != j) continue;
-      merged.insert(merged.end(), schedule.events()[idx].nodes.begin(),
-                    schedule.events()[idx].nodes.end());
-    }
-    if (!merged.empty()) {
+    const std::vector<int> evs = cursor.take_due(j);
+    if (!evs.empty()) {
       RPCG_CHECK(opts_.phi > 0, "failures injected into a non-resilient solver");
-      for (std::size_t idx = 0; idx < schedule.events().size(); ++idx) {
-        if (fired[idx] || schedule.events()[idx].iteration != j) continue;
-        fired[idx] = 1;
-        for (const NodeId f : schedule.events()[idx].nodes) {
+      std::vector<NodeId> merged;
+      for (const int idx : evs) {
+        const FailureEvent& ev = cursor.event(idx);
+        merged.insert(merged.end(), ev.nodes.begin(), ev.nodes.end());
+        for (const NodeId f : ev.nodes) {
           cluster_.fail_node(f);
           x.invalidate(f);
           resid.invalidate(f);
@@ -260,7 +256,7 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
             retained_[static_cast<std::size_t>(id)].valid = false;
         }
         if (opts_.events.on_failure_injected)
-          opts_.events.on_failure_injected(schedule.events()[idx]);
+          opts_.events.on_failure_injected(ev);
       }
       const double t0 = cluster_.clock().in_phase(Phase::kRecovery);
       recover(merged, x);

@@ -99,5 +99,109 @@ TEST(Collectives, OperationsOnLostBlockThrow) {
                std::logic_error);
 }
 
+// --- Split-phase (non-blocking) reductions -------------------------------
+
+TEST(SplitPhase, ImmediateWaitMatchesBlockingCall) {
+  // post + wait with nothing in between must charge exactly what the
+  // blocking call charges and produce the same value — the wrappers and the
+  // historical blocking collectives are the same operation.
+  Fixture f1, f2;
+  const double blocking = dot(f1.cluster, f1.a, f1.b, Phase::kIteration);
+  PendingReduction red = idot(f2.cluster, f2.a, f2.b, Phase::kIteration);
+  red.wait();
+  EXPECT_EQ(red.value(0), blocking);
+  EXPECT_EQ(f1.cluster.clock().total(), f2.cluster.clock().total());
+}
+
+TEST(SplitPhase, OverlappedComputeReducesExposedTime) {
+  // Charging work between post and wait hides reduction latency: the
+  // exposed remainder shrinks by exactly the work charged, down to zero.
+  Fixture f1, f2;
+  const double cost =
+      f1.cluster.comm().allreduce_cost(f1.cluster.alive_count(), 1);
+  ASSERT_GT(cost, 0.0);
+
+  PendingReduction red1 = idot(f1.cluster, f1.a, f1.b, Phase::kIteration);
+  const double t_posted = f1.cluster.clock().total();
+  f1.cluster.clock().advance(Phase::kIteration, 0.5 * cost);  // overlap half
+  red1.wait();
+  EXPECT_DOUBLE_EQ(f1.cluster.clock().total(), t_posted + cost);
+  EXPECT_DOUBLE_EQ(f1.cluster.reduction_times().posted_s, cost);
+  EXPECT_DOUBLE_EQ(f1.cluster.reduction_times().hidden_s, 0.5 * cost);
+  EXPECT_DOUBLE_EQ(f1.cluster.reduction_times().exposed_s, 0.5 * cost);
+
+  PendingReduction red2 = idot(f2.cluster, f2.a, f2.b, Phase::kIteration);
+  const double t2 = f2.cluster.clock().total();
+  f2.cluster.clock().advance(Phase::kIteration, 3.0 * cost);  // fully hidden
+  red2.wait();
+  EXPECT_DOUBLE_EQ(f2.cluster.clock().total(), t2 + 3.0 * cost);
+  EXPECT_DOUBLE_EQ(f2.cluster.reduction_times().exposed_s, 0.0);
+  EXPECT_DOUBLE_EQ(f2.cluster.reduction_times().hidden_s, cost);
+}
+
+TEST(SplitPhase, ValuesAreFixedAtPostTime) {
+  // Mutating the inputs after the post must not change the reduced values
+  // (node-ordered summation happened when the reduction was posted).
+  Fixture f;
+  const double expect = [&] {
+    const auto ga = f.a.gather_global();
+    const auto gb = f.b.gather_global();
+    double s = 0.0;
+    for (std::size_t i = 0; i < ga.size(); ++i) s += ga[i] * gb[i];
+    return s;
+  }();
+  PendingReduction red = idot(f.cluster, f.a, f.b, Phase::kIteration);
+  f.a.set_zero();
+  red.wait();
+  EXPECT_NEAR(red.value(0), expect, 1e-14);
+}
+
+TEST(SplitPhase, PipelinedDotsMatchSeparateReductions) {
+  Fixture f;
+  DistVector w{f.part};
+  w.set_global(random_vector(23, 3));
+  const double ru = dot(f.cluster, f.a, f.b, Phase::kIteration);
+  const double wu = dot(f.cluster, w, f.b, Phase::kIteration);
+  const double rr = dot(f.cluster, f.a, f.a, Phase::kIteration);
+  PendingReduction red = ipipelined_dots(f.cluster, f.a, f.b, w,
+                                         Phase::kIteration);
+  red.wait();
+  EXPECT_NEAR(red.value(0), ru, 1e-14);
+  EXPECT_NEAR(red.value(1), wu, 1e-14);
+  EXPECT_NEAR(red.value(2), rr, 1e-14);
+}
+
+TEST(SplitPhase, AccountingTracksEveryBlockingReduction) {
+  Fixture f;
+  (void)dot(f.cluster, f.a, f.b, Phase::kIteration);       // 1 reduction
+  (void)dot_pair(f.cluster, f.a, f.b, Phase::kIteration);  // 1 batched
+  const ReductionTimes& red = f.cluster.reduction_times();
+  EXPECT_EQ(red.count, 2);
+  EXPECT_DOUBLE_EQ(red.hidden_s, 0.0);  // blocking = fully exposed
+  EXPECT_DOUBLE_EQ(red.exposed_s, red.posted_s);
+}
+
+TEST(SplitPhase, PausedClockSkipsAccounting) {
+  // Diagnostic reductions under a paused clock (true-residual checks) must
+  // not leak into the overlap totals.
+  Fixture f;
+  {
+    ClockPause pause(f.cluster.clock());
+    (void)dot(f.cluster, f.a, f.b, Phase::kIteration);
+  }
+  EXPECT_EQ(f.cluster.reduction_times().count, 0);
+  EXPECT_DOUBLE_EQ(f.cluster.reduction_times().posted_s, 0.0);
+}
+
+TEST(SplitPhase, DroppedHandleStillCharges) {
+  // A posted reduction that goes out of scope unwaited completes in the
+  // destructor — the charge cannot be silently lost.
+  Fixture f;
+  const double before = f.cluster.clock().total();
+  { PendingReduction red = idot(f.cluster, f.a, f.b, Phase::kIteration); }
+  EXPECT_GT(f.cluster.clock().total(), before);
+  EXPECT_EQ(f.cluster.reduction_times().count, 1);
+}
+
 }  // namespace
 }  // namespace rpcg

@@ -2,6 +2,7 @@
 // borrowed components), validation, defaults, and cluster minting.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <stdexcept>
 
 #include "engine/registry.hpp"
@@ -110,6 +111,114 @@ TEST(ProblemBuilder, RhsFromSolutionMatchesSpmv) {
                                 .rhs_from_solution(x_true)
                                 .build();
   EXPECT_EQ(problem.rhs().gather_global(), expected);
+}
+
+TEST(ProblemBuilder, RhsOnesIsTheExplicitDefault) {
+  const CsrMatrix a = poisson2d_5pt(8, 8);
+  engine::Problem implicit =
+      engine::ProblemBuilder().borrow_matrix(a).nodes(4).build();
+  engine::Problem explicit_ones = engine::ProblemBuilder()
+                                      .borrow_matrix(a)
+                                      .nodes(4)
+                                      .rhs_ones()
+                                      .build();
+  EXPECT_EQ(implicit.rhs().gather_global(),
+            explicit_ones.rhs().gather_global());
+}
+
+TEST(ProblemBuilder, RhsRandomSmoothIsSeededAndSolvable) {
+  const CsrMatrix a = poisson2d_5pt(10, 10);
+  const auto build = [&](std::uint64_t seed) {
+    return engine::ProblemBuilder()
+        .borrow_matrix(a)
+        .nodes(4)
+        .rhs_random_smooth(seed)
+        .build();
+  };
+  // Deterministic per seed, different across seeds, different from ones.
+  EXPECT_EQ(build(7).rhs().gather_global(), build(7).rhs().gather_global());
+  EXPECT_NE(build(7).rhs().gather_global(), build(8).rhs().gather_global());
+  engine::Problem ones =
+      engine::ProblemBuilder().borrow_matrix(a).nodes(4).build();
+  EXPECT_NE(build(7).rhs().gather_global(), ones.rhs().gather_global());
+  // The target is a consistent system: PCG must reach it.
+  engine::Problem problem = build(7);
+  DistVector x = problem.make_x();
+  const auto rep =
+      engine::SolverRegistry::instance().create("pcg")->solve(problem, x);
+  EXPECT_TRUE(rep.converged);
+}
+
+TEST(ProblemBuilder, RhsFromFileReadsAndValidates) {
+  const CsrMatrix a = poisson2d_5pt(4, 4);  // 16 rows
+  const std::string path = ::testing::TempDir() + "rpcg_rhs_ok.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n% another\n";
+    for (int i = 0; i < 16; ++i) out << 0.5 * i << (i % 4 == 3 ? "\n" : " ");
+  }
+  engine::Problem problem = engine::ProblemBuilder()
+                                .borrow_matrix(a)
+                                .nodes(4)
+                                .rhs_from_file(path)
+                                .build();
+  const auto rhs = problem.rhs().gather_global();
+  ASSERT_EQ(rhs.size(), 16u);
+  EXPECT_EQ(rhs[3], 1.5);
+
+  const std::string short_path = ::testing::TempDir() + "rpcg_rhs_short.txt";
+  {
+    std::ofstream out(short_path);
+    out << "1 2 3\n";
+  }
+  EXPECT_THROW((void)engine::ProblemBuilder()
+                   .borrow_matrix(a)
+                   .nodes(4)
+                   .rhs_from_file(short_path)
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine::ProblemBuilder()
+                   .borrow_matrix(a)
+                   .nodes(4)
+                   .rhs_from_file(::testing::TempDir() + "rpcg_rhs_nope.txt")
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(ProblemBuilder, RhsStrategyByNameWithRegistryStyleErrors) {
+  const CsrMatrix a = poisson2d_5pt(8, 8);
+  engine::Problem by_name = engine::ProblemBuilder()
+                                .borrow_matrix(a)
+                                .nodes(4)
+                                .rhs_strategy("random-smooth:7")
+                                .build();
+  engine::Problem by_call = engine::ProblemBuilder()
+                                .borrow_matrix(a)
+                                .nodes(4)
+                                .rhs_random_smooth(7)
+                                .build();
+  EXPECT_EQ(by_name.rhs().gather_global(), by_call.rhs().gather_global());
+
+  engine::ProblemBuilder builder;
+  try {
+    builder.rhs_strategy("does-not-exist");
+    FAIL() << "unknown rhs strategy must throw";
+  } catch (const std::invalid_argument& e) {
+    // Registry-style UX: the error lists the valid strategies.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos);
+    EXPECT_NE(msg.find("ones"), std::string::npos);
+    EXPECT_NE(msg.find("random-smooth"), std::string::npos);
+    EXPECT_NE(msg.find("from-file"), std::string::npos);
+  }
+  EXPECT_THROW(builder.rhs_strategy("from-file"), std::invalid_argument);
+  EXPECT_THROW(builder.rhs_strategy("random-smooth:not-a-seed"),
+               std::invalid_argument);
+  EXPECT_THROW(builder.rhs_strategy("random-smooth:7abc"),
+               std::invalid_argument);  // trailing garbage is not a seed
+  EXPECT_THROW(builder.rhs_strategy("random-smooth:-1"),
+               std::invalid_argument);  // stoull would silently wrap this
+  EXPECT_THROW(builder.rhs_strategy("ones:arg"), std::invalid_argument);
 }
 
 TEST(ProblemBuilder, OwnedPreconditionerIsUsedAndNamed) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/pipelined_pcg.hpp"
 #include "core/resilient_pcg.hpp"
 #include "sparse/generators.hpp"
 #include "test_util.hpp"
@@ -258,6 +259,94 @@ TEST_P(ThreadedFuzz, ThreadedRandomScenariosMatchSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedFuzz, ::testing::Range(1, 21));
+
+// The pipelined engine under the same concurrency fuzz: random multi-failure
+// schedules must recover AND the threaded policy must match sequential
+// bit-for-bit — the split-phase reductions and the relation-based rebuild of
+// the recurrence vectors run on the worker pool too (TSan'd via -L parallel).
+class PipelinedThreadedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinedThreadedFuzz, ThreadedRandomScenariosMatchSequential) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 52361 + 17);
+
+  CsrMatrix a;
+  switch (rng.uniform_index(3)) {
+    case 0:
+      a = poisson2d_5pt(12, 12);
+      break;
+    case 1:
+      a = circuit_like(12, 12, 0.05, seed);
+      break;
+    default:
+      a = random_spd(130, 9, 0.6, 16, seed);
+      break;
+  }
+  const int nodes = 4 + static_cast<int>(rng.uniform_index(8));  // 4..11
+  const int phi = 1 + static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(std::min(nodes - 1, 4))));
+  const Partition part = Partition::block_rows(a.rows(), nodes);
+
+  DistVector b(part);
+  const auto x_ref = random_vector(a.rows(), seed + 3);
+  {
+    std::vector<double> bg(static_cast<std::size_t>(a.rows()));
+    a.spmv(x_ref, bg);
+    b.set_global(bg);
+  }
+  const auto m = make_preconditioner("bjacobi", a, part);
+
+  PipelinedPcgOptions opts;
+  opts.pcg.rtol = 1e-9;
+  opts.phi = phi;
+  opts.strategy_seed = seed;
+
+  FailureSchedule schedule;
+  const int num_events = 1 + static_cast<int>(rng.uniform_index(3));
+  std::set<int> used_iterations;
+  for (int e = 0; e < num_events; ++e) {
+    const int at = 2 + static_cast<int>(rng.uniform_index(12));
+    if (used_iterations.count(at) > 0) continue;
+    used_iterations.insert(at);
+    const int psi = 1 + static_cast<int>(
+                            rng.uniform_index(static_cast<std::uint64_t>(phi)));
+    std::set<NodeId> nodes_set;
+    while (static_cast<int>(nodes_set.size()) < psi)
+      nodes_set.insert(static_cast<NodeId>(
+          rng.uniform_index(static_cast<std::uint64_t>(nodes))));
+    FailureEvent ev;
+    ev.iteration = at;
+    ev.nodes.assign(nodes_set.begin(), nodes_set.end());
+    schedule.add(std::move(ev));
+  }
+
+  const auto run = [&](const ExecutionPolicy& exec) {
+    Cluster cluster(part, CommParams{});
+    cluster.set_execution_policy(exec);
+    PipelinedPcg solver(cluster, a, *m, opts);
+    DistVector x(part);
+    const auto res = solver.solve(b, x, schedule);
+    return std::pair{res, x.gather_global()};
+  };
+
+  const auto [seq_res, seq_x] = run(ExecutionPolicy::sequential());
+  ASSERT_TRUE(seq_res.converged) << "seed " << seed;
+  EXPECT_LT(max_diff(seq_x, x_ref), 1e-5);
+
+  const int workers = 2 + static_cast<int>(rng.uniform_index(7));  // 2..8
+  const auto [thr_res, thr_x] = run(ExecutionPolicy::threaded_with(workers));
+  EXPECT_EQ(seq_res.iterations, thr_res.iterations) << "seed " << seed;
+  EXPECT_EQ(seq_res.rel_residual, thr_res.rel_residual) << "seed " << seed;
+  EXPECT_EQ(seq_res.sim_time, thr_res.sim_time) << "seed " << seed;
+  ASSERT_EQ(seq_res.recoveries.size(), thr_res.recoveries.size());
+  for (std::size_t i = 0; i < seq_res.recoveries.size(); ++i)
+    EXPECT_EQ(seq_res.recoveries[i].nodes, thr_res.recoveries[i].nodes);
+  ASSERT_EQ(seq_x.size(), thr_x.size());
+  for (std::size_t i = 0; i < seq_x.size(); ++i)
+    ASSERT_EQ(seq_x[i], thr_x[i]) << "seed " << seed << " entry " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedThreadedFuzz, ::testing::Range(1, 13));
 
 }  // namespace
 }  // namespace rpcg

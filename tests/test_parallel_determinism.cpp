@@ -53,7 +53,9 @@ RunOutput run_once(const std::string& solver_name, const std::string& precond,
                              // comparison is on the full report either way
   cfg.exec = exec;
   FailureSchedule schedule;
-  if (solver_name != "pcg") {  // the reference solver tolerates no failures
+  // The reference "pcg" and the plain "pipelined-pcg" tolerate no failures;
+  // every resilient family runs the multi-failure schedule with phi = 3.
+  if (solver_name != "pcg" && solver_name != "pipelined-pcg") {
     cfg.phi = 3;
     if (solver_name == "resilient-pcg") cfg.recovery = RecoveryMethod::kEsr;
     schedule = multi_failure_schedule();
