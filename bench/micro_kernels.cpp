@@ -6,9 +6,12 @@
 // abstracts).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/backup_store.hpp"
 #include "core/redundancy.hpp"
 #include "precond/block_jacobi.hpp"
+#include "repro/matrices.hpp"
 #include "sim/collectives.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sparse/generators.hpp"
@@ -20,6 +23,72 @@ namespace {
 using namespace rpcg;
 
 CsrMatrix bench_matrix() { return poisson3d_7pt(24, 24, 24); }  // 13824 rows
+
+// One scale-8 node block (64-node partition) of the M1 (banded FEM) and the
+// M2 (random-pattern) reproduction matrices — the exact inputs of the block
+// Jacobi hot path whose ordering-selection policy these benches isolate.
+CsrMatrix repro_node_block(int matrix_index) {
+  const auto m = repro::make_matrix(matrix_index, 8.0);
+  const Partition part = Partition::block_rows(m.matrix.rows(), 64);
+  const auto rows = part.rows_of(0);
+  return m.matrix.submatrix(rows, rows);
+}
+
+// Ordering x supernodal sweep over the LDLᵀ factor/solve kernels. Arg pairs:
+// (0) matrix: 1 = M1-band block, 2 = M2-random block;
+// (1) ordering: 0 = natural, 1 = RCM, 2 = AMD;
+// (2) supernodal panels: 0 = scalar sweeps, 1 = packed.
+void ldlt_sweep_args(benchmark::internal::Benchmark* b) {
+  for (const long matrix : {1, 2})
+    for (const long ordering : {0, 1, 2})
+      for (const long supernodal : {0, 1})
+        b->Args({matrix, ordering, supernodal});
+}
+
+void BM_LdltOrderedFactor(benchmark::State& state) {
+  const CsrMatrix a = repro_node_block(static_cast<int>(state.range(0)));
+  const auto ordering = static_cast<LdltOrdering>(state.range(1));
+  const bool supernodal = state.range(2) != 0;
+  for (auto _ : state) {
+    auto f = ReorderedLdlt::factor_with(a, ordering, supernodal);
+    benchmark::DoNotOptimize(f->l_nnz());
+  }
+  const auto f = ReorderedLdlt::factor_with(a, ordering, supernodal);
+  state.counters["l_nnz"] = static_cast<double>(f->l_nnz());
+}
+BENCHMARK(BM_LdltOrderedFactor)->Apply(ldlt_sweep_args);
+
+void BM_LdltOrderedSolve(benchmark::State& state) {
+  const CsrMatrix a = repro_node_block(static_cast<int>(state.range(0)));
+  const auto ordering = static_cast<LdltOrdering>(state.range(1));
+  const bool supernodal = state.range(2) != 0;
+  const auto f = ReorderedLdlt::factor_with(a, ordering, supernodal);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> x(b.size());
+  for (auto _ : state) {
+    f->solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f->l_nnz());
+  state.counters["supernodal"] =
+      f->factorization().supernodal() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_LdltOrderedSolve)->Apply(ldlt_sweep_args);
+
+void BM_LdltAutoSelectedSolve(benchmark::State& state) {
+  // The production path: ReorderedLdlt::factor's own candidate selection.
+  const CsrMatrix a = repro_node_block(static_cast<int>(state.range(0)));
+  const auto f = ReorderedLdlt::factor(a);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> x(b.size());
+  for (auto _ : state) {
+    f->solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["ordering"] = static_cast<double>(f->ordering());
+  state.counters["l_nnz"] = static_cast<double>(f->l_nnz());
+}
+BENCHMARK(BM_LdltAutoSelectedSolve)->Arg(1)->Arg(2);
 
 void BM_SeqSpmv(benchmark::State& state) {
   const CsrMatrix a = bench_matrix();

@@ -98,6 +98,14 @@ std::string SolveReport::to_json(int indent) const {
     w.field("count", std::to_string(reductions.count), false);
     w.close("}", true);
   }
+  if (report_cache_stats) {
+    w.open_field("factorization_cache", "{");
+    w.field("hits", std::to_string(cache_stats.hits));
+    w.field("misses", std::to_string(cache_stats.misses));
+    w.field("invalidated", std::to_string(cache_stats.invalidated));
+    w.field("entries", std::to_string(cache_stats.entries), false);
+    w.close("}", true);
+  }
   w.field("checkpoints_written", std::to_string(checkpoints_written));
   w.field("rolled_back_iterations", std::to_string(rolled_back_iterations));
   w.open_field("recoveries", "[");

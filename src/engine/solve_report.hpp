@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/events.hpp"  // RecoveryRecord
+#include "core/factorization_cache.hpp"
 #include "core/resilient_pcg.hpp"
 #include "core/resilient_bicgstab.hpp"
 #include "sim/cluster.hpp"  // Phase, kNumPhases
@@ -55,6 +56,14 @@ struct SolveReport {
   /// pre-existing solvers stays byte-identical.
   ReductionTimes reductions;
   bool report_reductions = false;
+
+  /// Snapshot of the Problem's FactorizationCache at the end of the solve
+  /// (the cache is problem-lifetime, so counters accumulate across solves of
+  /// one Problem). Serialized only when `report_cache_stats` is set
+  /// (SolverConfig::report_cache_stats, opt-in like the reductions block),
+  /// so legacy `rpcg-solve-report/v1` output stays byte-identical.
+  FactorizationCache::Stats cache_stats;
+  bool report_cache_stats = false;
 
   [[nodiscard]] double recovery_sim_time() const {
     return sim_time_phase[static_cast<std::size_t>(Phase::kRecovery)];

@@ -62,6 +62,13 @@ struct SolverConfig {
   /// FactorizationCache. Purely a host-side wall-clock optimization —
   /// reports are byte-identical either way.
   bool factorization_cache = true;
+  /// Embed a snapshot of the Problem's FactorizationCache counters
+  /// (hits/misses/invalidated/entries) into the report and its JSON.
+  /// Opt-in, like the pipelined family's reduction block: the legacy
+  /// `rpcg-solve-report/v1` output stays byte-identical when unset. Has no
+  /// effect when `factorization_cache` is false — a solve that bypassed the
+  /// cache reports no block rather than a misleading all-zero one.
+  bool report_cache_stats = false;
 
   /// Typed event hooks, forwarded to the underlying engine. The reference
   /// "pcg" solver supports no hooks (it exists as the bit-for-bit baseline).
@@ -70,7 +77,7 @@ struct SolverConfig {
   /// Reads --rtol, --max-iterations, --recovery, --phi, --strategy,
   /// --strategy-seed, --local-rtol, --checkpoint-interval,
   /// --stationary-method, --omega, --exec, --workers,
-  /// --factorization-cache. Unknown enum names throw
+  /// --factorization-cache, --report-cache-stats. Unknown enum names throw
   /// std::invalid_argument listing the valid keys.
   [[nodiscard]] static SolverConfig from_options(const Options& o);
 };

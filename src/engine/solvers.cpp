@@ -39,6 +39,18 @@ FactorizationCache* esr_cache(Problem& problem, const SolverConfig& config) {
   return config.factorization_cache ? &problem.factorization_cache() : nullptr;
 }
 
+/// Snapshot the Problem's cache counters into the report when the config
+/// opts in (solvers that can route ESR setups through the cache only).
+/// A solve that bypassed the cache (factorization_cache = false) gets no
+/// block at all — an all-zero snapshot would read as "cache ran with zero
+/// traffic" instead of "cache was off".
+void attach_cache_stats(SolveReport& rep, Problem& problem,
+                        const SolverConfig& config) {
+  if (!config.report_cache_stats || !config.factorization_cache) return;
+  rep.cache_stats = problem.factorization_cache().stats();
+  rep.report_cache_stats = true;
+}
+
 /// The reference (non-resilient) PCG, wrapping the legacy pcg_solve free
 /// function unchanged — it is the bit-for-bit baseline the resilient
 /// engine is tested against, so it must stay exactly that code path.
@@ -96,6 +108,7 @@ class ResilientPcgSolver final : public Solver {
     rep.redundancy_overhead_per_iteration =
         engine.redundancy_overhead_per_iteration();
     rep.reductions = cluster.reduction_times();
+    attach_cache_stats(rep, problem, config_);
     return rep;
   }
 
@@ -144,6 +157,7 @@ class PipelinedSolver final : public Solver {
         engine.redundancy_overhead_per_iteration();
     rep.reductions = cluster.reduction_times();
     rep.report_reductions = true;
+    attach_cache_stats(rep, problem, config_);
     return rep;
   }
 
@@ -177,6 +191,7 @@ class BicgstabSolver final : public Solver {
     SolveReport rep = make_report(name(), problem.preconditioner_name(),
                                   engine.solve(problem.rhs(), x, schedule));
     rep.reductions = cluster.reduction_times();
+    attach_cache_stats(rep, problem, config_);
     return rep;
   }
 
@@ -239,6 +254,7 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   c.exec.workers = static_cast<int>(o.get_int("workers", c.exec.workers));
   c.factorization_cache =
       o.get_bool("factorization-cache", c.factorization_cache);
+  c.report_cache_stats = o.get_bool("report-cache-stats", c.report_cache_stats);
   return c;
 }
 

@@ -46,6 +46,8 @@ BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
                "block Jacobi block is not positive definite (node " +
                    std::to_string(i) + ")");
     apply_flops_[static_cast<std::size_t>(i)] = fact->solve_flops();
+    ++ordering_counts_[static_cast<std::size_t>(fact->ordering())];
+    if (fact->factorization().supernodal()) ++supernodal_blocks_;
     m_local_.push_back(std::move(block));
     factor_.push_back(std::move(*fact));
   }

@@ -6,6 +6,7 @@
 // block-diagonal with respect to the partition, keeping ESR recovery local).
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "precond/preconditioner.hpp"
@@ -30,6 +31,16 @@ class BlockJacobiPreconditioner final : public Preconditioner {
                             const DistVector& z,
                             std::span<double> r_f) const override;
 
+  /// Diagnostics: how many node blocks each candidate ordering won (indexed
+  /// by LdltOrdering). M1-style banded blocks keep RCM/AMD near-ties; the
+  /// M2-style random blocks are where AMD earns its keep.
+  [[nodiscard]] const std::array<int, 3>& ordering_counts() const {
+    return ordering_counts_;
+  }
+  /// Diagnostics: blocks whose factor solves through packed supernode
+  /// panels (wide supernodes detected) rather than scalar column sweeps.
+  [[nodiscard]] int supernodal_blocks() const { return supernodal_blocks_; }
+
  private:
   const Partition* partition_;
   // Per node: the preconditioner matrix M_{Ii,Ii} (block-diagonal extraction
@@ -39,6 +50,8 @@ class BlockJacobiPreconditioner final : public Preconditioner {
   std::vector<CsrMatrix> m_local_;
   std::vector<ReorderedLdlt> factor_;
   std::vector<double> apply_flops_;
+  std::array<int, 3> ordering_counts_{};
+  int supernodal_blocks_ = 0;
 };
 
 }  // namespace rpcg

@@ -2,10 +2,32 @@
 
 #include <algorithm>
 
+#include "sparse/amd.hpp"
 #include "sparse/reorder.hpp"
 #include "util/check.hpp"
 
 namespace rpcg {
+
+namespace {
+
+// Supernodes narrower than this stay on the scalar column sweep: the blocked
+// kernel's per-block bookkeeping (row-list indirection, panel strides, the
+// backward accumulator) only pays off once a panel is wide enough to stream.
+// Perfect bands detect only singleton supernodes and thus keep the exact
+// PR 3 code path; fill-heavy AMD-ordered factors pack their wide trailing
+// supernodes and solve them dense.
+constexpr Index kMinPanelWidth = 8;
+
+}  // namespace
+
+const char* to_string(LdltOrdering o) {
+  switch (o) {
+    case LdltOrdering::kNatural: return "natural";
+    case LdltOrdering::kRcm: return "rcm";
+    case LdltOrdering::kAmd: return "amd";
+  }
+  return "?";
+}
 
 Index SparseLdlt::symbolic_nnz(const CsrMatrix& a) {
   RPCG_CHECK(a.rows() == a.cols(), "LDLt needs a square matrix");
@@ -29,7 +51,8 @@ Index SparseLdlt::symbolic_nnz(const CsrMatrix& a) {
   return nnz;
 }
 
-std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a) {
+std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a,
+                                             bool supernodal) {
   RPCG_CHECK(a.rows() == a.cols(), "LDLt needs a square matrix");
   const Index n = a.rows();
   SparseLdlt f;
@@ -65,7 +88,6 @@ std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a) {
   // --- Numeric pass (up-looking, row by row). ---
   std::vector<double> y(static_cast<std::size_t>(n), 0.0);
   std::vector<Index> pattern(static_cast<std::size_t>(n));
-  std::vector<Index> next(static_cast<std::size_t>(n), 0);  // fill position per column
   std::fill(flag.begin(), flag.end(), Index{-1});
   std::fill(lnz.begin(), lnz.end(), Index{0});
 
@@ -108,11 +130,93 @@ std::optional<SparseLdlt> SparseLdlt::factor(const CsrMatrix& a) {
     if (dk <= 0.0) return std::nullopt;  // not positive definite
     f.d_[static_cast<std::size_t>(k)] = dk;
   }
+  if (supernodal) f.build_supernodes();
   return f;
 }
 
-void SparseLdlt::solve_in_place(std::span<double> b) const {
-  RPCG_CHECK(static_cast<Index>(b.size()) == n_, "solve size mismatch");
+void SparseLdlt::build_supernodes() {
+  // --- Detect maximal exact supernodes: column j extends the supernode of
+  // column j+1 iff its pattern is {j+1} ∪ pattern(j+1), i.e. its first
+  // sub-diagonal entry is j+1 and the rest matches column j+1 exactly. Row
+  // indices within a column are ascending (the numeric pass appends rows in
+  // k order), so the match is a plain range compare. ---
+  std::vector<Index> first;  // supernode boundaries
+  if (n_ > 0) first.push_back(0);
+  num_supernodes_ = 0;
+  max_sn_width_ = 1;
+  for (Index j = 0; j + 1 < n_; ++j) {
+    const auto p0 = static_cast<std::size_t>(lp_[static_cast<std::size_t>(j)]);
+    const auto p1 = static_cast<std::size_t>(lp_[static_cast<std::size_t>(j) + 1]);
+    const auto q1 = static_cast<std::size_t>(lp_[static_cast<std::size_t>(j) + 2]);
+    const bool merges = (p1 - p0 == q1 - p1 + 1) && p1 > p0 &&
+                        li_[p0] == j + 1 &&
+                        std::equal(li_.begin() + static_cast<std::ptrdiff_t>(p0) + 1,
+                                   li_.begin() + static_cast<std::ptrdiff_t>(p1),
+                                   li_.begin() + static_cast<std::ptrdiff_t>(p1));
+    if (!merges) first.push_back(j + 1);
+  }
+  if (n_ > 0) first.push_back(n_);
+  num_supernodes_ = std::max<Index>(static_cast<Index>(first.size()) - 1, 0);
+  for (std::size_t s = 0; s + 1 < first.size(); ++s)
+    max_sn_width_ = std::max(max_sn_width_, first[s + 1] - first[s]);
+
+  // --- Pack the wide supernodes: per block a dense strict-lower triangle
+  // (column-major, packed) and a dense row-major panel over the shared
+  // sub-diagonal rows (the pattern of the block's last column). Exact
+  // supernodes mean every packed slot holds a genuine L entry — zero
+  // padding, so l_nnz() and the flop accounting are format-independent. ---
+  for (std::size_t s = 0; s + 1 < first.size(); ++s) {
+    const Index c0 = first[s];
+    const Index c1 = first[s + 1];
+    if (c1 - c0 < kMinPanelWidth) continue;
+    blk_first_.push_back(c0);
+    blk_last_.push_back(c1);
+  }
+  if (blk_first_.empty()) return;
+
+  const std::size_t nblk = blk_first_.size();
+  blk_rowptr_.assign(nblk + 1, 0);
+  blk_triptr_.assign(nblk + 1, 0);
+  blk_panelptr_.assign(nblk + 1, 0);
+  for (std::size_t s = 0; s < nblk; ++s) {
+    const Index c0 = blk_first_[s];
+    const Index c1 = blk_last_[s];
+    const Index w = c1 - c0;
+    const Index nrows =
+        lp_[static_cast<std::size_t>(c1)] - lp_[static_cast<std::size_t>(c1 - 1)];
+    blk_rowptr_[s + 1] = blk_rowptr_[s] + nrows;
+    blk_triptr_[s + 1] = blk_triptr_[s] + w * (w - 1) / 2;
+    blk_panelptr_[s + 1] = blk_panelptr_[s] + nrows * w;
+  }
+  blk_rows_.assign(static_cast<std::size_t>(blk_rowptr_.back()), 0);
+  blk_tri_.assign(static_cast<std::size_t>(blk_triptr_.back()), 0.0);
+  blk_panel_.assign(static_cast<std::size_t>(blk_panelptr_.back()), 0.0);
+
+  for (std::size_t s = 0; s < nblk; ++s) {
+    const Index c0 = blk_first_[s];
+    const Index c1 = blk_last_[s];
+    const Index w = c1 - c0;
+    const Index nrows = blk_rowptr_[s + 1] - blk_rowptr_[s];
+    // Shared sub-diagonal rows = pattern of the block's last column.
+    Index* rows = blk_rows_.data() + blk_rowptr_[s];
+    const Index last_p0 = lp_[static_cast<std::size_t>(c1 - 1)];
+    for (Index r = 0; r < nrows; ++r)
+      rows[r] = li_[static_cast<std::size_t>(last_p0 + r)];
+    double* tri = blk_tri_.data() + blk_triptr_[s];
+    double* panel = blk_panel_.data() + blk_panelptr_[s];
+    for (Index jj = 0; jj < w; ++jj) {
+      const Index col = c0 + jj;
+      const Index p0 = lp_[static_cast<std::size_t>(col)];
+      // Column col holds (w - 1 - jj) within-supernode entries (rows
+      // col+1..c1-1) followed by the nrows shared sub-diagonal entries.
+      for (Index i = 0; i < w - 1 - jj; ++i) *tri++ = lx_[static_cast<std::size_t>(p0 + i)];
+      for (Index r = 0; r < nrows; ++r)
+        panel[r * w + jj] = lx_[static_cast<std::size_t>(p0 + (w - 1 - jj) + r)];
+    }
+  }
+}
+
+void SparseLdlt::solve_in_place_simplicial(std::span<double> b) const {
   // L y = b (unit lower triangular, stored by columns).
   for (Index j = 0; j < n_; ++j) {
     const double bj = b[static_cast<std::size_t>(j)];
@@ -131,6 +235,103 @@ void SparseLdlt::solve_in_place(std::span<double> b) const {
   }
 }
 
+void SparseLdlt::solve_in_place_supernodal(std::span<double> b) const {
+  // Per-block accumulator for the backward panel sweep; thread-local so
+  // shared factors (cache entries) can be solved from concurrent threads.
+  static thread_local std::vector<double> acc;
+  const auto nblk = static_cast<Index>(blk_first_.size());
+
+  // L y = b: packed blocks run a dense unit-lower triangle solve followed by
+  // a row-major panel update (each panel row is one contiguous dot product);
+  // the columns between blocks keep the scalar sweep.
+  Index j = 0;
+  Index bi = 0;
+  while (j < n_) {
+    if (bi < nblk && blk_first_[static_cast<std::size_t>(bi)] == j) {
+      const auto s = static_cast<std::size_t>(bi);
+      const Index c0 = j;
+      const Index w = blk_last_[s] - c0;
+      const double* tri = blk_tri_.data() + blk_triptr_[s];
+      for (Index jj = 0; jj < w; ++jj) {
+        const double bj = b[static_cast<std::size_t>(c0 + jj)];
+        for (Index i = jj + 1; i < w; ++i)
+          b[static_cast<std::size_t>(c0 + i)] -= (*tri++) * bj;
+      }
+      const Index nrows = blk_rowptr_[s + 1] - blk_rowptr_[s];
+      const Index* rows = blk_rows_.data() + blk_rowptr_[s];
+      const double* panel = blk_panel_.data() + blk_panelptr_[s];
+      for (Index r = 0; r < nrows; ++r) {
+        double dot = 0.0;
+        const double* prow = panel + r * w;
+        for (Index jj = 0; jj < w; ++jj)
+          dot += prow[jj] * b[static_cast<std::size_t>(c0 + jj)];
+        b[static_cast<std::size_t>(rows[r])] -= dot;
+      }
+      j = blk_last_[s];
+      ++bi;
+    } else {
+      const double bj = b[static_cast<std::size_t>(j)];
+      for (Index p = lp_[static_cast<std::size_t>(j)]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+        b[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+            lx_[static_cast<std::size_t>(p)] * bj;
+      ++j;
+    }
+  }
+  // D z = y.
+  for (Index i = 0; i < n_; ++i) b[static_cast<std::size_t>(i)] /= d_[static_cast<std::size_t>(i)];
+  // Lᵀ x = z: walk backwards; packed blocks accumulate their panel
+  // contributions per row (contiguous panel access again), then run the
+  // transposed dense triangle solve.
+  j = n_ - 1;
+  bi = nblk - 1;
+  while (j >= 0) {
+    if (bi >= 0 && blk_last_[static_cast<std::size_t>(bi)] == j + 1) {
+      const auto s = static_cast<std::size_t>(bi);
+      const Index c0 = blk_first_[s];
+      const Index w = blk_last_[s] - c0;
+      const Index nrows = blk_rowptr_[s + 1] - blk_rowptr_[s];
+      const Index* rows = blk_rows_.data() + blk_rowptr_[s];
+      const double* panel = blk_panel_.data() + blk_panelptr_[s];
+      if (nrows > 0) {
+        acc.assign(static_cast<std::size_t>(w), 0.0);
+        for (Index r = 0; r < nrows; ++r) {
+          const double xr = b[static_cast<std::size_t>(rows[r])];
+          const double* prow = panel + r * w;
+          for (Index jj = 0; jj < w; ++jj)
+            acc[static_cast<std::size_t>(jj)] += prow[jj] * xr;
+        }
+        for (Index jj = 0; jj < w; ++jj)
+          b[static_cast<std::size_t>(c0 + jj)] -= acc[static_cast<std::size_t>(jj)];
+      }
+      const double* tri = blk_tri_.data() + blk_triptr_[s];
+      for (Index jj = w - 1; jj >= 0; --jj) {
+        // Column jj's triangle entries (rows jj+1..w-1) are contiguous.
+        const double* tcol = tri + (jj * (2 * w - jj - 1)) / 2;
+        double sum = b[static_cast<std::size_t>(c0 + jj)];
+        for (Index i = jj + 1; i < w; ++i)
+          sum -= tcol[i - jj - 1] * b[static_cast<std::size_t>(c0 + i)];
+        b[static_cast<std::size_t>(c0 + jj)] = sum;
+      }
+      j = c0 - 1;
+      --bi;
+    } else {
+      double sum = b[static_cast<std::size_t>(j)];
+      for (Index p = lp_[static_cast<std::size_t>(j)]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+        sum -= lx_[static_cast<std::size_t>(p)] * b[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])];
+      b[static_cast<std::size_t>(j)] = sum;
+      --j;
+    }
+  }
+}
+
+void SparseLdlt::solve_in_place(std::span<double> b) const {
+  RPCG_CHECK(static_cast<Index>(b.size()) == n_, "solve size mismatch");
+  if (supernodal())
+    solve_in_place_supernodal(b);
+  else
+    solve_in_place_simplicial(b);
+}
+
 void SparseLdlt::solve(std::span<const double> b, std::span<double> x) const {
   RPCG_CHECK(b.size() == x.size(), "solve size mismatch");
   std::copy(b.begin(), b.end(), x.begin());
@@ -138,25 +339,73 @@ void SparseLdlt::solve(std::span<const double> b, std::span<double> x) const {
 }
 
 std::optional<ReorderedLdlt> ReorderedLdlt::factor(const CsrMatrix& a) {
-  std::vector<Index> perm = rcm_ordering(a);
-  bool identity = true;
-  for (Index i = 0; i < a.rows(); ++i) {
-    if (perm[static_cast<std::size_t>(i)] != i) {
-      identity = false;
-      break;
+  // Candidate selection by symbolic fill. A later candidate must beat the
+  // incumbent by a small margin (not just win a near-tie): equal-fill
+  // factors solve equally many entries, but the earlier orderings have the
+  // friendlier memory layout (natural needs no permute at all, RCM clusters
+  // the factor along a band), so e.g. M1-style banded blocks where AMD and
+  // RCM land within a handful of entries must keep RCM. Deterministic, and
+  // never more fill than plain factor(a).
+  Index best_nnz = SparseLdlt::symbolic_nnz(a);
+  LdltOrdering best = LdltOrdering::kNatural;
+  std::vector<Index> best_perm;
+  std::optional<CsrMatrix> best_mat;
+
+  const auto consider = [&](LdltOrdering ordering, std::vector<Index> perm) {
+    bool identity = true;
+    for (Index i = 0; i < a.rows(); ++i) {
+      if (perm[static_cast<std::size_t>(i)] != i) {
+        identity = false;
+        break;
+      }
     }
-  }
-  if (!identity) {
+    if (identity) return;
     CsrMatrix permuted = a.permuted_symmetric(perm);
-    if (SparseLdlt::symbolic_nnz(permuted) < SparseLdlt::symbolic_nnz(a)) {
-      auto f = SparseLdlt::factor(permuted);
-      if (!f.has_value()) return std::nullopt;
-      return ReorderedLdlt(std::move(*f), std::move(perm));
+    const Index nnz = SparseLdlt::symbolic_nnz(permuted);
+    // 2% improvement threshold; switching orderings for less cannot pay
+    // back the locality it gives up.
+    if (nnz < best_nnz - best_nnz / 50) {
+      best_nnz = nnz;
+      best = ordering;
+      best_perm = std::move(perm);
+      best_mat = std::move(permuted);
     }
-  }
-  auto f = SparseLdlt::factor(a);
+  };
+  consider(LdltOrdering::kRcm, rcm_ordering(a));
+  consider(LdltOrdering::kAmd, amd_ordering(a));
+
+  auto f = SparseLdlt::factor(best_mat.has_value() ? *best_mat : a);
   if (!f.has_value()) return std::nullopt;
-  return ReorderedLdlt(std::move(*f), {});
+  return ReorderedLdlt(std::move(*f), std::move(best_perm), best);
+}
+
+std::optional<ReorderedLdlt> ReorderedLdlt::factor_with(const CsrMatrix& a,
+                                                        LdltOrdering ordering,
+                                                        bool supernodal) {
+  std::vector<Index> perm;
+  switch (ordering) {
+    case LdltOrdering::kNatural: break;
+    case LdltOrdering::kRcm: perm = rcm_ordering(a); break;
+    case LdltOrdering::kAmd: perm = amd_ordering(a); break;
+  }
+  bool identity = true;
+  for (Index i = 0; i < a.rows() && identity; ++i)
+    identity = perm.empty() || perm[static_cast<std::size_t>(i)] == i;
+  std::optional<SparseLdlt> f;
+  if (identity) {
+    perm.clear();
+    f = SparseLdlt::factor(a, supernodal);
+  } else {
+    f = SparseLdlt::factor(a.permuted_symmetric(perm), supernodal);
+  }
+  if (!f.has_value()) return std::nullopt;
+  // An identity RCM/AMD permutation is honestly the natural ordering.
+  // (Resolved before the constructor call: its perm parameter is taken by
+  // value, so reading perm.empty() as a sibling argument would race the
+  // move in unspecified evaluation order.)
+  const LdltOrdering reported =
+      identity ? LdltOrdering::kNatural : ordering;
+  return ReorderedLdlt(std::move(*f), std::move(perm), reported);
 }
 
 void ReorderedLdlt::solve(std::span<const double> b, std::span<double> x) const {

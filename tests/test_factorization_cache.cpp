@@ -200,5 +200,66 @@ INSTANTIATE_TEST_SUITE_P(Ic0AndExact, CachedVsUncached, ::testing::Bool(),
                            return info.param ? "exact_ldlt" : "ic0_pcg";
                          });
 
+TEST(FactorizationCache, CachedVsUncachedIdentityWithAmdSupernodalKernels) {
+  // Same identity battery on an M2-style random-pattern matrix whose exact
+  // local solves select AMD and pack supernodes — the cache must stay a
+  // pure host-side optimization under the PR 5 kernels too.
+  const auto run = [](bool cache, std::string& json,
+                      std::vector<double>& solution) {
+    engine::Problem problem = engine::ProblemBuilder()
+                                  .matrix(random_spd(360, 10, 0.5, 60, 0xE1))
+                                  .nodes(6)
+                                  .preconditioner("bjacobi")
+                                  .build();
+    engine::SolverConfig cfg = esr_config(2, cache);
+    cfg.esr.exact_local_solve = true;
+    const FailureSchedule schedule = schedule_at(3, {1, 4});
+    DistVector x;
+    for (int rep = 0; rep < 2; ++rep) {
+      engine::SolveReport report = solve(problem, cfg, schedule, x);
+      report.wall_seconds = 0.0;
+      json += report.to_json();
+    }
+    solution = x.gather_global();
+  };
+  std::string cached_json, uncached_json;
+  std::vector<double> cached_x, uncached_x;
+  run(true, cached_json, cached_x);
+  run(false, uncached_json, uncached_x);
+  EXPECT_EQ(cached_json, uncached_json);
+  ASSERT_EQ(cached_x.size(), uncached_x.size());
+  for (std::size_t i = 0; i < cached_x.size(); ++i)
+    ASSERT_EQ(cached_x[i], uncached_x[i]) << "entry " << i;
+}
+
+TEST(FactorizationCache, ReportCacheStatsFlagEmbedsSnapshot) {
+  engine::Problem problem = make_problem();
+  engine::SolverConfig cfg = esr_config(2, true);
+  const FailureSchedule schedule = schedule_at(2, {1, 3});
+  DistVector x;
+
+  // Off by default: the JSON has no factorization_cache block.
+  engine::SolveReport rep = solve(problem, cfg, schedule, x);
+  EXPECT_FALSE(rep.report_cache_stats);
+  EXPECT_EQ(rep.to_json().find("factorization_cache"), std::string::npos);
+
+  cfg.report_cache_stats = true;
+  rep = solve(problem, cfg, schedule, x);
+  EXPECT_TRUE(rep.report_cache_stats);
+  // Second solve of the same schedule: the first one's miss is now a hit.
+  EXPECT_EQ(rep.cache_stats.misses, 1u);
+  EXPECT_EQ(rep.cache_stats.hits, 1u);
+  EXPECT_NE(rep.to_json().find("\"factorization_cache\": {"),
+            std::string::npos);
+  EXPECT_NE(rep.to_json().find("\"hits\": 1"), std::string::npos);
+
+  // A solve that bypassed the cache gets no block — an all-zero snapshot
+  // would read as "zero traffic", not "cache off".
+  cfg.factorization_cache = false;
+  rep = solve(problem, cfg, schedule, x);
+  EXPECT_FALSE(rep.report_cache_stats);
+  EXPECT_EQ(rep.to_json().find("factorization_cache"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rpcg

@@ -72,5 +72,78 @@ TEST(Ldlt, IdentityIsItsOwnFactor) {
   EXPECT_LT(max_diff(b, expect), 1e-15);
 }
 
+TEST(LdltSupernodes, DenseFactorIsOneSupernode) {
+  const Index n = 20;
+  const auto fact = SparseLdlt::factor(dense_random_spd(n, 5));
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_EQ(fact->num_supernodes(), 1);
+  EXPECT_EQ(fact->max_supernode_width(), n);
+  EXPECT_TRUE(fact->supernodal());  // one packed block of width n
+}
+
+TEST(LdltSupernodes, BandAndIdentityStaySimplicial) {
+  // A perfect band's exact supernodes are near-singletons (each column's
+  // pattern slides by one row; only the last columns merge as the band runs
+  // out of rows), so nothing reaches the packing width and the scalar sweep
+  // of the PR 3 code path is kept verbatim.
+  const auto band = SparseLdlt::factor(tridiag_spd(50));
+  ASSERT_TRUE(band.has_value());
+  EXPECT_EQ(band->num_supernodes(), 49);  // the trailing pair merges
+  EXPECT_EQ(band->max_supernode_width(), 2);
+  EXPECT_FALSE(band->supernodal());
+
+  const auto id = SparseLdlt::factor(CsrMatrix::identity(9));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->num_supernodes(), 9);
+  EXPECT_FALSE(id->supernodal());
+}
+
+TEST(LdltSupernodes, DetectionCountsAreKernelIndependent) {
+  const CsrMatrix a = random_spd(220, 10, 0.5, 40, 0xC4);
+  const auto on = SparseLdlt::factor(a, true);
+  const auto off = SparseLdlt::factor(a, false);
+  ASSERT_TRUE(on.has_value());
+  ASSERT_TRUE(off.has_value());
+  // The scalar factor skips detection entirely; the supernodal factor's
+  // storage never changes the factor itself.
+  EXPECT_FALSE(off->supernodal());
+  EXPECT_EQ(on->l_nnz(), off->l_nnz());
+  EXPECT_EQ(on->solve_flops(), off->solve_flops());
+  EXPECT_EQ(on->factor_flops(), off->factor_flops());
+}
+
+TEST(LdltSupernodes, SupernodalSolveMatchesSimplicial) {
+  // Random SPD matrices with enough fill that wide supernodes get packed;
+  // the blocked solve must agree with the scalar sweep to tight tolerance
+  // (identical flops, different rounding grouping only).
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const CsrMatrix a = random_spd(260, 12, 0.4, 50, seed);
+    const auto on = SparseLdlt::factor(a, true);
+    const auto off = SparseLdlt::factor(a, false);
+    ASSERT_TRUE(on.has_value());
+    ASSERT_TRUE(off.has_value());
+    ASSERT_TRUE(on->supernodal()) << "expected packed supernodes, seed "
+                                  << seed;
+    const auto b = random_vector(a.rows(), seed + 10);
+    std::vector<double> x_on(b.size()), x_off(b.size());
+    on->solve(b, x_on);
+    off->solve(b, x_off);
+    EXPECT_LT(max_diff(x_on, x_off), 1e-11) << "seed " << seed;
+  }
+}
+
+TEST(LdltSupernodes, DenseSupernodalSolveIsExact) {
+  const CsrMatrix a = dense_random_spd(40, 7);
+  const auto fact = SparseLdlt::factor(a);
+  ASSERT_TRUE(fact.has_value());
+  ASSERT_TRUE(fact->supernodal());
+  const auto x_ref = random_vector(a.rows(), 2);
+  std::vector<double> b(x_ref.size());
+  a.spmv(x_ref, b);
+  std::vector<double> x(b.size());
+  fact->solve(b, x);
+  EXPECT_LT(max_diff(x, x_ref), 1e-9);
+}
+
 }  // namespace
 }  // namespace rpcg

@@ -12,7 +12,10 @@
 #include <vector>
 
 #include "engine/registry.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sim/partition.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/ldlt.hpp"
 
 namespace rpcg {
 namespace {
@@ -136,6 +139,52 @@ TEST(ParallelDeterminismExtra, SplitAndSsorPreconditioners) {
         run_once("resilient-pcg", precond, ExecutionPolicy::threaded_with(4));
     EXPECT_EQ(seq.report_json, thr.report_json) << precond;
   }
+}
+
+// The PR 5 sparse kernels: an M2-style random-pattern matrix whose block
+// Jacobi factors select the AMD ordering and pack supernode panels, with an
+// exact-LDLᵀ ESR reconstruction routed through the factorization cache.
+// Threaded solves must stay bit-for-bit identical over those kernels too
+// (the supernodal solve keeps a fixed accumulation order and thread-local
+// scratch only).
+TEST(ParallelDeterminismExtra, AmdSupernodalKernels) {
+  const CsrMatrix a = random_spd(512, 12, 0.5, 80, 0xD7);
+  // Confirm the new kernels are actually active for these blocks.
+  const Partition part = Partition::block_rows(a.rows(), 4);
+  const BlockJacobiPreconditioner probe(a, part);
+  ASSERT_GT(probe.ordering_counts()[static_cast<std::size_t>(
+                LdltOrdering::kAmd)],
+            0);
+  ASSERT_GT(probe.supernodal_blocks(), 0);
+
+  const auto run = [&a](const ExecutionPolicy& exec) {
+    engine::Problem problem = engine::ProblemBuilder()
+                                  .matrix(CsrMatrix(a))
+                                  .nodes(4)
+                                  .preconditioner("bjacobi")
+                                  .build();
+    engine::SolverConfig cfg;
+    cfg.rtol = 1e-9;
+    cfg.recovery = RecoveryMethod::kEsr;
+    cfg.phi = 2;
+    cfg.esr.exact_local_solve = true;
+    cfg.exec = exec;
+    FailureSchedule schedule;
+    FailureEvent ev;
+    ev.iteration = 4;
+    ev.nodes = {1, 2};
+    schedule.add(std::move(ev));
+    const auto solver =
+        engine::SolverRegistry::instance().create("resilient-pcg", cfg);
+    DistVector x = problem.make_x();
+    engine::SolveReport report = solver->solve(problem, x, schedule);
+    report.wall_seconds = 0.0;
+    return report.to_json() + "\n" + std::to_string(x.gather_global()[17]);
+  };
+  const std::string seq = run(ExecutionPolicy::sequential());
+  for (const int workers : {2, 8})
+    EXPECT_EQ(seq, run(ExecutionPolicy::threaded_with(workers)))
+        << "workers=" << workers;
 }
 
 // Worker counts beyond the node count (and the n <= 1 fast path) must not

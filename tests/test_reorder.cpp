@@ -6,20 +6,13 @@
 
 #include "sparse/coo.hpp"
 #include "sparse/generators.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace rpcg {
 namespace {
 
-bool is_permutation(const std::vector<Index>& perm, Index n) {
-  std::vector<bool> seen(static_cast<std::size_t>(n), false);
-  if (static_cast<Index>(perm.size()) != n) return false;
-  for (const Index p : perm) {
-    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
-    seen[static_cast<std::size_t>(p)] = true;
-  }
-  return true;
-}
+using testing::is_permutation;
 
 TEST(Rcm, ProducesValidPermutation) {
   const CsrMatrix a = poisson2d_5pt(8, 8);

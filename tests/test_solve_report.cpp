@@ -67,6 +67,29 @@ TEST(SolveReport, GoldenJson) {
   EXPECT_EQ(sample_report().to_json(), expected);
 }
 
+TEST(SolveReport, CacheStatsBlockIsOptInAndLegacyJsonUnchanged) {
+  engine::SolveReport rep = sample_report();
+  // Counters alone must not leak into the serialization — only the flag
+  // opts the block in, mirroring the reductions contract.
+  rep.cache_stats.hits = 5;
+  rep.cache_stats.misses = 2;
+  rep.cache_stats.invalidated = 1;
+  rep.cache_stats.entries = 3;
+  const std::string legacy = sample_report().to_json();
+  EXPECT_EQ(rep.to_json(), legacy);
+
+  rep.report_cache_stats = true;
+  const std::string json = rep.to_json();
+  const char* expected_block = R"(  "factorization_cache": {
+    "hits": 5,
+    "misses": 2,
+    "invalidated": 1,
+    "entries": 3
+  },
+  "checkpoints_written": 2,)";
+  EXPECT_NE(json.find(expected_block), std::string::npos) << json;
+}
+
 TEST(SolveReport, IndentShiftsEveryLine) {
   const std::string json = sample_report().to_json(4);
   EXPECT_EQ(json.substr(0, 5), "    {");

@@ -46,4 +46,15 @@ inline double max_diff(const std::vector<double>& a,
   return mx;
 }
 
+/// True iff perm is a permutation of 0..n-1 (ordering-algorithm contract).
+inline bool is_permutation(const std::vector<Index>& perm, Index n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  if (static_cast<Index>(perm.size()) != n) return false;
+  for (const Index p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
 }  // namespace rpcg::testing
