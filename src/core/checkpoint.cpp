@@ -20,7 +20,7 @@ void CheckpointStorage::save(Cluster& cluster, int iteration, const DistVector& 
   has_ = true;
   // All nodes write their 4 blocks concurrently; the phase costs as much as
   // the largest block.
-  cluster.clock().advance(
+  cluster.charge(
       Phase::kCheckpoint,
       cluster.comm().storage_cost(4 * cluster.partition().max_block_size()));
 }
@@ -38,7 +38,7 @@ void CheckpointStorage::restore(Cluster& cluster, DistVector& x, DistVector& r,
   }
   rz = rz_;
   beta_prev = beta_prev_;
-  cluster.clock().advance(
+  cluster.charge(
       Phase::kRecovery,
       cluster.comm().storage_cost(4 * cluster.partition().max_block_size()));
 }

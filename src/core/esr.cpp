@@ -114,12 +114,12 @@ LocalSolveOutcome esr_solve_lost_x(Cluster& cluster, const CsrMatrix& a_global,
     outcome.iterations = res.iterations;
     outcome.rel_residual = res.rel_residual;
     flops += res.flops;
-    cluster.clock().advance(
+    cluster.charge(
         Phase::kRecovery,
         static_cast<double>(res.iterations) * cluster.comm().allreduce_cost(psi, 2));
   }
-  cluster.clock().advance(Phase::kRecovery,
-                          cluster.comm().compute_cost(flops / std::max(psi, 1)));
+  cluster.charge(Phase::kRecovery,
+                 cluster.comm().compute_cost(flops / std::max(psi, 1)));
   return outcome;
 }
 
@@ -165,7 +165,7 @@ RecoveryStats EsrReconstructor::recover(Cluster& cluster,
 
   // Recover the replicated scalar beta^(j-1) (one message from any survivor)
   // and both generations of the lost search-direction blocks.
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().message_cost(1));
+  cluster.charge(Phase::kRecovery, cluster.comm().message_cost(1));
   const BackupStore::Gathered got = store.gather_lost(cluster, rows);
   stats.gathered_elements = got.elements_transferred;
 
@@ -173,8 +173,8 @@ RecoveryStats EsrReconstructor::recover(Cluster& cluster,
   std::vector<double> z_f(rows.size());
   for (std::size_t k = 0; k < rows.size(); ++k)
     z_f[k] = got.cur[k] - beta_prev * got.prev[k];
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(
-                                                2.0 * static_cast<double>(rows.size())));
+  cluster.charge(Phase::kRecovery, cluster.comm().compute_cost(
+                                       2.0 * static_cast<double>(rows.size())));
 
   // r_{IF} through the preconditioner (lines 5-6 / the [23] variants).
   std::vector<double> r_f(rows.size());

@@ -92,7 +92,7 @@ RecoveryStats PipelinedPcg::recover(std::span<const NodeId> failed,
 
   // Replicated scalars gamma^(k-1), alpha^(k-1) from any survivor, then both
   // generations of the lost u and p blocks from the redundant copies.
-  cluster_.clock().advance(Phase::kRecovery, cluster_.comm().message_cost(1));
+  cluster_.charge(Phase::kRecovery, cluster_.comm().message_cost(1));
   const BackupStore::Gathered got_u = store_u_.gather_lost(cluster_, rows);
   const BackupStore::Gathered got_p = store_p_.gather_lost(cluster_, rows);
   stats.gathered_elements =
@@ -206,7 +206,7 @@ ResilientPcgResult PipelinedPcg::solve(const DistVector& b, DistVector& x,
     if (opts_.phi > 0) {
       store_p_.record(st.p);
       store_u_.record(st.u);
-      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+      cluster_.charge(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     // --- Failure injection point (backups of both generations in place). ---

@@ -64,7 +64,7 @@ void ResilientBicgstab::recompute_lost_rows(std::span<const Index> rows,
         cluster_.comm().message_cost(static_cast<Index>(needed.size()));
   }
   cluster_.charge_parallel_seconds(Phase::kRecovery, per_holder);
-  cluster_.clock().advance(Phase::kRecovery, cluster_.comm().compute_cost(flops));
+  cluster_.charge(Phase::kRecovery, cluster_.comm().compute_cost(flops));
 }
 
 void ResilientBicgstab::recover(const std::vector<NodeId>& failed, double alpha,
@@ -121,8 +121,8 @@ void ResilientBicgstab::recover(const std::vector<NodeId>& failed, double alpha,
   // r_IF = s_IF + alpha v_IF (from s = r - alpha v; alpha is replicated).
   std::vector<double> r_f(rows.size());
   for (std::size_t k = 0; k < rows.size(); ++k) r_f[k] = s_f[k] + alpha * v_f[k];
-  cluster_.clock().advance(Phase::kRecovery, cluster_.comm().compute_cost(
-                                                 2.0 * static_cast<double>(rows.size())));
+  cluster_.charge(Phase::kRecovery, cluster_.comm().compute_cost(
+                                        2.0 * static_cast<double>(rows.size())));
 
   // x_IF from the local system (identical to PCG's Alg. 2 lines 7-8).
   std::vector<double> x_f(rows.size());
@@ -215,7 +215,7 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     a_->spmv(cluster_, phat, v, halos, it);  // v = A p̂  (scatters p̂)
     if (opts_.phi > 0) {
       store_phat_.record(phat);
-      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+      cluster_.charge(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     const double r0v = dot(cluster_, r0, v, it);
@@ -230,7 +230,7 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     a_->spmv(cluster_, shat, t, halos, it);  // t = A ŝ  (scatters ŝ)
     if (opts_.phi > 0) {
       store_shat_.record(shat);
-      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+      cluster_.charge(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     // --- Failure injection point: copies of p̂ and ŝ are distributed. ---

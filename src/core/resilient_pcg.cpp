@@ -113,7 +113,7 @@ ResilientPcgResult ResilientPcg::solve(const DistVector& b, DistVector& x,
     kernel.spmv_direction(it);
     if (opts_.phi > 0) {
       store_.record(kernel.p);
-      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+      cluster_.charge(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     // --- Failure injection point (backups of p^(j), p^(j-1) in place). ---

@@ -85,7 +85,7 @@ void BlockJacobiPreconditioner::esr_recover_residual(
     flops += 2.0 * static_cast<double>(m.nnz());
     pos += bsize;
   }
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(flops));
+  cluster.charge(Phase::kRecovery, cluster.comm().compute_cost(flops));
 }
 
 }  // namespace rpcg

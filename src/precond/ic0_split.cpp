@@ -53,7 +53,7 @@ void Ic0SplitPreconditioner::esr_recover_residual(
     flops += 4.0 * static_cast<double>(fact.l_nnz());
     pos += bsize;
   }
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(flops));
+  cluster.charge(Phase::kRecovery, cluster.comm().compute_cost(flops));
 }
 
 }  // namespace rpcg

@@ -29,7 +29,7 @@ void JacobiPreconditioner::apply(Cluster& cluster, const DistVector& r,
     for (std::size_t k = 0; k < rb.size(); ++k)
       zb[k] = rb[k] * inv_diag_[static_cast<std::size_t>(base) + k];
   }
-  cluster.clock().advance(
+  cluster.charge(
       phase, cluster.comm().compute_cost(
                  static_cast<double>(partition_->max_block_size())));
 }
@@ -42,8 +42,8 @@ void JacobiPreconditioner::esr_recover_residual(
   // r_{If} = z_{If} / diag(P).
   for (std::size_t k = 0; k < rows.size(); ++k)
     r_f[k] = z_f[k] / inv_diag_[static_cast<std::size_t>(rows[k])];
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(
-                                                static_cast<double>(rows.size())));
+  cluster.charge(Phase::kRecovery,
+                 cluster.comm().compute_cost(static_cast<double>(rows.size())));
 }
 
 ExplicitPreconditioner::ExplicitPreconditioner(CsrMatrix p,
@@ -90,7 +90,7 @@ void ExplicitPreconditioner::esr_recover_residual(
         max_holder_cost,
         cluster.comm().message_cost(static_cast<Index>(needed.size())));
   }
-  cluster.clock().advance(Phase::kRecovery, max_holder_cost);
+  cluster.charge(Phase::kRecovery, max_holder_cost);
 
   // Solve P_{If,If} r_{If} = v exactly (line 6). P_{If,If} is SPD. The
   // extraction + factorization is memoized per failed node set; the
@@ -111,7 +111,7 @@ void ExplicitPreconditioner::esr_recover_residual(
   const auto& fact = entry->ldlt;
   RPCG_REQUIRE(fact.has_value(), "P_{If,If} must be positive definite");
   fact->solve(v, r_f);
-  cluster.clock().advance(
+  cluster.charge(
       Phase::kRecovery,
       cluster.comm().compute_cost(flops + fact->factor_flops() + fact->solve_flops()));
 }

@@ -120,7 +120,7 @@ void SsorPreconditioner::esr_recover_residual(
     flops += 4.0 * static_cast<double>(block_[static_cast<std::size_t>(f)].nnz());
     pos += bsize;
   }
-  cluster.clock().advance(Phase::kRecovery, cluster.comm().compute_cost(flops));
+  cluster.charge(Phase::kRecovery, cluster.comm().compute_cost(flops));
 }
 
 }  // namespace rpcg

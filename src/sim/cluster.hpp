@@ -117,6 +117,20 @@ class Cluster {
   [[nodiscard]] int alive_count() const { return alive_count_; }
   [[nodiscard]] std::vector<NodeId> failed_nodes() const;
 
+  /// Advances simulated time by an already-costed `seconds`, attributed to
+  /// `phase`. The single entry point for charging time from outside the sim
+  /// layer: solver/precond/engine code must come through here (or the
+  /// charge_* helpers below) so phase accounting, pause state, and timing
+  /// noise are applied in one place — rpcg-lint's sim-time rule bans direct
+  /// SimClock mutation outside src/sim/.
+  void charge(Phase phase, double seconds) { clock_.advance(phase, seconds); }
+
+  /// Enables deterministic log-normal timing noise on the clock (cv = 0
+  /// disables; see SimClock::set_noise).
+  void set_clock_noise(double cv, std::uint64_t seed) {
+    clock_.set_noise(cv, seed);
+  }
+
   /// Advances the clock by the parallel cost of a compute step in which node
   /// i spends per_node_flops[i] flops: max_i flops_i / rate.
   void charge_compute(Phase phase, std::span<const double> per_node_flops);

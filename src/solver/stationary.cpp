@@ -237,7 +237,7 @@ StationaryResult ResilientStationary::solve(const DistVector& b, DistVector& x,
     execute_scatter(cluster_, a_->scatter_plan(), x, halos, Phase::kIteration);
     if (opts_.phi > 0) {
       record_backups(x);
-      cluster_.clock().advance(Phase::kRedundancy, redundancy_step_cost_);
+      cluster_.charge(Phase::kRedundancy, redundancy_step_cost_);
     }
 
     // Failure injection point: x's copies are distributed.
