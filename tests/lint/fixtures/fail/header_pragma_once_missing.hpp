@@ -1,0 +1,11 @@
+// lint-fixture: expect(header-pragma-once)
+// Classic include guard instead of #pragma once: guard-name collisions
+// across directories are a real failure mode at this repo's header count.
+#ifndef RPCG_FIXTURE_GUARD_HPP
+#define RPCG_FIXTURE_GUARD_HPP
+
+namespace rpcg {
+inline int answer() { return 42; }
+}  // namespace rpcg
+
+#endif  // RPCG_FIXTURE_GUARD_HPP

@@ -1,0 +1,10 @@
+// lint-fixture: expect(header-using-namespace)
+#pragma once
+
+#include <vector>
+
+using namespace std;  // leaks into every includer
+
+namespace rpcg {
+inline vector<int> empty_vec() { return {}; }
+}  // namespace rpcg

@@ -1,0 +1,14 @@
+// lint-fixture: expect(nondeterminism)
+// Keying a container on pointers makes ordering (and unordered hashing)
+// depend on allocator addresses, which vary run to run under ASLR.
+#include <map>
+
+namespace rpcg {
+
+struct Node {};
+
+int count_nodes(const std::map<Node*, int>& live) {
+  return static_cast<int>(live.size());
+}
+
+}  // namespace rpcg

@@ -1,0 +1,13 @@
+// lint-fixture: expect(nondeterminism)
+// std::random_device draws entropy from the host — two runs of the same
+// solve diverge. All randomness must flow through util/rng.hpp (seeded).
+#include <random>
+
+namespace rpcg {
+
+unsigned fresh_seed() {
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace rpcg

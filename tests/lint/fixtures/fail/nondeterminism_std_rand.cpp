@@ -1,0 +1,10 @@
+// lint-fixture: expect(nondeterminism)
+// A solver sampling from the C RNG: seed state is global and the sequence
+// depends on link order / other callers, so reports are not reproducible.
+#include <cstdlib>
+
+namespace rpcg {
+
+double jitter() { return static_cast<double>(std::rand()) / RAND_MAX; }
+
+}  // namespace rpcg

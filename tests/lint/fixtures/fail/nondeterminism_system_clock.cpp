@@ -1,0 +1,12 @@
+// lint-fixture: expect(nondeterminism)
+// system_clock is the wall-date clock; steady_clock (allowed) is the one
+// for measuring host durations.
+#include <chrono>
+
+namespace rpcg {
+
+long long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace rpcg

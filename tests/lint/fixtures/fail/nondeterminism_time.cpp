@@ -1,0 +1,10 @@
+// lint-fixture: expect(nondeterminism)
+// Seeding from wall time makes every run unique; byte-identical solve
+// reports become impossible.
+#include <ctime>
+
+namespace rpcg {
+
+long seed_from_clock() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace rpcg

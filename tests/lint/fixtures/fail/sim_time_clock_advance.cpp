@@ -1,0 +1,12 @@
+// lint-fixture: expect(sim-time) path(src/core/sim_time_clock_advance.cpp)
+// Solver code mutating the clock directly instead of Cluster::charge():
+// bypasses phase accounting, the paused() diagnostic gate, and noise.
+#include "sim/cluster.hpp"
+
+namespace rpcg {
+
+void charge_recovery(Cluster& cluster, double seconds) {
+  cluster.clock().advance(Phase::kRecovery, seconds);
+}
+
+}  // namespace rpcg

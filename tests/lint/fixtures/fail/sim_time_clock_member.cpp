@@ -1,0 +1,16 @@
+// lint-fixture: expect(sim-time) path(src/solver/sim_time_clock_member.cpp)
+// Same hazard through a stored clock_ member reference.
+#include "sim/cluster.hpp"
+
+namespace rpcg {
+
+class Sloppy {
+ public:
+  explicit Sloppy(SimClock& clock) : clock_(clock) {}
+  void tick() { clock_.advance(Phase::kIteration, 1.0); }
+
+ private:
+  SimClock& clock_;
+};
+
+}  // namespace rpcg

@@ -1,0 +1,14 @@
+// lint-fixture: expect(suppression)
+// An allow() with no reason is itself a finding: suppressions must say why.
+#include <unordered_map>
+
+namespace rpcg {
+
+int sum(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  // rpcg-lint: allow(unordered-iteration)
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,13 @@
+// lint-fixture: expect(unordered-iteration)
+// Explicit iterator traversal of an unordered_set is the same hazard as
+// range-for: first element is whatever the hash layout says today.
+#include <unordered_set>
+
+namespace rpcg {
+
+int first_failed(const std::unordered_set<int>& failed) {
+  auto it = failed.begin();
+  return it == failed.end() ? -1 : *it;
+}
+
+}  // namespace rpcg

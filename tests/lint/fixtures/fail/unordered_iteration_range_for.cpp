@@ -1,0 +1,15 @@
+// lint-fixture: expect(unordered-iteration)
+// Range-for over an unordered_map: traversal order is implementation-
+// defined, so anything accumulated here (a report field, a JSON array, a
+// floating-point reduction) differs across standard libraries.
+#include <unordered_map>
+
+namespace rpcg {
+
+double total_residual(const std::unordered_map<int, double>& by_node) {
+  double sum = 0.0;
+  for (const auto& [node, r] : by_node) sum += r;
+  return sum;
+}
+
+}  // namespace rpcg

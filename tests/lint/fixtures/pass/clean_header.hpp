@@ -1,0 +1,14 @@
+// lint-fixture: expect-clean path(src/core/clean_header.hpp)
+// A long leading comment block is fine: the pragma must only be the first
+// line of *code*, matching this repo's file-comment-then-pragma style.
+#pragma once
+
+#include <vector>
+
+namespace rpcg {
+
+inline std::vector<double> zeros(std::size_t n) {
+  return std::vector<double>(n, 0.0);
+}
+
+}  // namespace rpcg

@@ -1,0 +1,15 @@
+// lint-fixture: expect-clean path(src/util/rng.hpp)
+// The sanctioned RNG home may reference entropy sources; everywhere else
+// the nondeterminism rule bans them.
+#pragma once
+
+#include <random>
+
+namespace rpcg {
+
+inline unsigned hardware_entropy() {
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace rpcg

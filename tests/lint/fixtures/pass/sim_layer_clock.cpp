@@ -1,0 +1,11 @@
+// lint-fixture: expect-clean path(src/sim/sim_layer_clock.cpp)
+// Inside src/sim/ the clock is fair game: this *is* the sim layer.
+#include "sim/cluster.hpp"
+
+namespace rpcg {
+
+void charge_one_second(Cluster& cluster) {
+  cluster.clock().advance(Phase::kIteration, 1.0);
+}
+
+}  // namespace rpcg

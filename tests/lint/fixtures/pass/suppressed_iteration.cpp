@@ -1,0 +1,15 @@
+// lint-fixture: expect-clean
+// A justified suppression: iteration feeds a local max, which is
+// order-independent, and the author said so in the allow() reason.
+#include <unordered_map>
+
+namespace rpcg {
+
+int max_value(const std::unordered_map<int, int>& m) {
+  int best = 0;
+  // rpcg-lint: allow(unordered-iteration): max over ints is order-independent
+  for (const auto& [k, v] : m) best = v > best ? v : best;
+  return best;
+}
+
+}  // namespace rpcg

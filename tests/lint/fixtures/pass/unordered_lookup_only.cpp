@@ -1,0 +1,14 @@
+// lint-fixture: expect-clean
+// Unordered containers are fine as lookup structures — only traversal is
+// order-dependent. This mirrors csr.cpp's col_map and dist_matrix.cpp's
+// halo_slot.
+#include <unordered_map>
+
+namespace rpcg {
+
+int remap(const std::unordered_map<int, int>& col_map, int c) {
+  const auto it = col_map.find(c);
+  return it == col_map.end() ? -1 : it->second;
+}
+
+}  // namespace rpcg

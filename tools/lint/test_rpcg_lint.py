@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Fixture-corpus test for rpcg_lint.py (ctest: lint.fixtures, label lint).
+
+Every fixture under tests/lint/fixtures declares its expectation on line 1:
+
+    // lint-fixture: expect(<rule>) [path(<repo-rel-path>)]
+    // lint-fixture: expect-clean   [path(<repo-rel-path>)]
+
+Each fixture is copied into a temporary repo root at its declared path
+(default src/core/<name>) and linted with --root pointing at that temp
+root, so path-scoped rules and exemptions behave exactly as they do on the
+real tree. fail/ fixtures must produce findings for exactly their expected
+rule; pass/ fixtures must produce none.
+
+The suite also asserts that every rule the linter advertises (--list-rules)
+is covered by at least one failing fixture — a new rule without a fixture,
+or a rule whose detection silently rots, fails here.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOLS_DIR.parent.parent
+LINTER = TOOLS_DIR / "rpcg_lint.py"
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+DIRECTIVE_RE = re.compile(
+    r"lint-fixture:\s*(expect\(([\w\-]+)\)|expect-clean)"
+    r"(?:\s+path\(([\w\-./]+)\))?")
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([\w\-]+)\] ", re.MULTILINE)
+
+
+def parse_directive(fixture: Path) -> tuple[str | None, str]:
+    """Returns (expected_rule_or_None, destination_rel_path)."""
+    first = fixture.read_text(encoding="utf-8").splitlines()[0]
+    m = DIRECTIVE_RE.search(first)
+    if not m:
+        raise AssertionError(f"{fixture}: missing lint-fixture directive")
+    rule = m.group(2)  # None for expect-clean
+    dest = m.group(3) or f"src/core/{fixture.name}"
+    return rule, dest
+
+
+def lint_fixture(fixture: Path) -> tuple[set[str], int]:
+    """Copies the fixture into a temp root at its declared path and lints
+    it; returns (set of finding rules, exit code)."""
+    _, dest = parse_directive(fixture)
+    with tempfile.TemporaryDirectory(prefix="rpcg_lint_fix_") as tmp:
+        root = Path(tmp)
+        target = root / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(fixture, target)
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(root), str(target)],
+            capture_output=True, text=True, check=False)
+        rules = {m.group(3) for m in FINDING_RE.finditer(proc.stdout)}
+        return rules, proc.returncode
+
+
+class FixtureCorpus(unittest.TestCase):
+    maxDiff = None
+
+    def test_fail_fixtures_trigger_exactly_their_rule(self):
+        fail_fixtures = sorted((FIXTURES / "fail").iterdir())
+        self.assertTrue(fail_fixtures, "fail/ corpus is empty")
+        for fixture in fail_fixtures:
+            if fixture.suffix not in {".cpp", ".hpp", ".h"}:
+                continue
+            with self.subTest(fixture=fixture.name):
+                expected, _ = parse_directive(fixture)
+                self.assertIsNotNone(
+                    expected, f"{fixture.name}: fail/ fixture must expect() a rule")
+                rules, code = lint_fixture(fixture)
+                self.assertEqual(code, 1, f"{fixture.name}: linter should exit 1")
+                self.assertEqual(
+                    rules, {expected},
+                    f"{fixture.name}: expected only [{expected}] findings")
+
+    def test_pass_fixtures_are_clean(self):
+        pass_fixtures = sorted((FIXTURES / "pass").iterdir())
+        self.assertTrue(pass_fixtures, "pass/ corpus is empty")
+        for fixture in pass_fixtures:
+            if fixture.suffix not in {".cpp", ".hpp", ".h"}:
+                continue
+            with self.subTest(fixture=fixture.name):
+                expected, _ = parse_directive(fixture)
+                self.assertIsNone(
+                    expected, f"{fixture.name}: pass/ fixture must be expect-clean")
+                rules, code = lint_fixture(fixture)
+                self.assertEqual(
+                    (rules, code), (set(), 0),
+                    f"{fixture.name}: expected clean, got {sorted(rules)}")
+
+    def test_every_rule_has_a_failing_fixture(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--list-rules"],
+            capture_output=True, text=True, check=True)
+        advertised = {line.split()[0] for line in proc.stdout.splitlines() if line}
+        covered = set()
+        for fixture in (FIXTURES / "fail").iterdir():
+            if fixture.suffix in {".cpp", ".hpp", ".h"}:
+                rule, _ = parse_directive(fixture)
+                covered.add(rule)
+        self.assertEqual(
+            advertised - covered, set(),
+            "rules with no failing fixture (add one to tests/lint/fixtures/fail)")
+
+    def test_fixture_dirs_excluded_from_tree_walks(self):
+        # Walking tests/ must not surface the deliberately-broken corpus.
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(REPO_ROOT),
+             str(REPO_ROOT / "tests" / "lint")],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
