@@ -7,7 +7,10 @@ add_library(rpcg_warnings INTERFACE)
 add_library(rpcg::warnings ALIAS rpcg_warnings)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
-  target_compile_options(rpcg_warnings INTERFACE -Wall -Wextra)
+  # -Wshadow: a shadowed variable in a numeric kernel (an inner `r` hiding
+  # the residual, a loop `i` hiding a node id) is a classic silent-wrong-
+  # answer bug; the tree compiles clean under it, keep it that way.
+  target_compile_options(rpcg_warnings INTERFACE -Wall -Wextra -Wshadow)
   if(RPCG_WERROR)
     target_compile_options(rpcg_warnings INTERFACE -Werror)
   endif()

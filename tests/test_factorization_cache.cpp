@@ -196,8 +196,8 @@ TEST_P(CachedVsUncached, IdenticalReportsAndIterates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ic0AndExact, CachedVsUncached, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "exact_ldlt" : "ic0_pcg";
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? "exact_ldlt" : "ic0_pcg";
                          });
 
 TEST(FactorizationCache, CachedVsUncachedIdentityWithAmdSupernodalKernels) {

@@ -120,9 +120,8 @@ std::vector<std::tuple<std::string, std::string>> all_combinations() {
 INSTANTIATE_TEST_SUITE_P(
     AllSolversAndPreconditioners, ParallelDeterminism,
     ::testing::ValuesIn(all_combinations()),
-    [](const ::testing::TestParamInfo<ParallelDeterminism::ParamType>& info) {
-      std::string name =
-          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<ParallelDeterminism::ParamType>& p) {
+      std::string name = std::get<0>(p.param) + "_" + std::get<1>(p.param);
       for (char& c : name)
         if (c == '-') c = '_';
       return name;
