@@ -6,6 +6,8 @@
 // wraps the native result into a SolveReport. Adding a family is one more
 // adapter + one register_solver() line here — nothing else in the repo
 // needs to know about it.
+#include <memory>
+
 #include "core/pipelined_pcg.hpp"
 #include "core/resilient_bicgstab.hpp"
 #include "core/resilient_pcg.hpp"
@@ -260,22 +262,22 @@ SolverConfig SolverConfig::from_options(const Options& o) {
 
 void register_builtin_solvers(SolverRegistry& registry) {
   registry.register_solver("pcg", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new PcgSolver(c));
+    return std::make_unique<PcgSolver>(c);
   });
   registry.register_solver("resilient-pcg", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new ResilientPcgSolver(c));
+    return std::make_unique<ResilientPcgSolver>(c);
   });
   registry.register_solver("pipelined-pcg", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new PipelinedSolver(c, /*resilient=*/false));
+    return std::make_unique<PipelinedSolver>(c, /*resilient=*/false);
   });
   registry.register_solver("pipelined-resilient-pcg", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new PipelinedSolver(c, /*resilient=*/true));
+    return std::make_unique<PipelinedSolver>(c, /*resilient=*/true);
   });
   registry.register_solver("resilient-bicgstab", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new BicgstabSolver(c));
+    return std::make_unique<BicgstabSolver>(c);
   });
   registry.register_solver("stationary", [](const SolverConfig& c) {
-    return std::unique_ptr<Solver>(new StationarySolver(c));
+    return std::make_unique<StationarySolver>(c);
   });
 }
 

@@ -29,7 +29,7 @@ int main() {
     std::fprintf(stderr, "events_at(10) returned unexpected events\n");
     return 1;
   }
-  if (schedule.events_at(11).size() != 0 || schedule.events().size() != 2) {
+  if (!schedule.events_at(11).empty() || schedule.events().size() != 2) {
     std::fprintf(stderr, "schedule bookkeeping is inconsistent\n");
     return 1;
   }
