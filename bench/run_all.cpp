@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -54,9 +56,29 @@ std::vector<std::string> split_names(const std::string& csv) {
 struct BenchResult {
   std::string name;
   std::string command;
+  std::string metrics_path;
+  std::string metrics;  // raw JSON object emitted by the bench, if any
   int exit_code = -1;
   double wall_seconds = 0.0;
 };
+
+// Benches that support it write a compact JSON metrics object to
+// --metrics-out (e.g. service_throughput's jobs/s and factorization
+// counts); the others simply ignore the flag. A well-formed file is
+// embedded verbatim as the bench's "metrics" field.
+std::string read_metrics_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string s = buf.str();
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0)
+    s.pop_back();
+  // Embedded raw into the report, so only a JSON object is acceptable.
+  if (s.empty() || s.front() != '{' || s.back() != '}') return "";
+  return s;
+}
 
 // Forwarded flag values are pasted into a shell command line; restrict them
 // to the numeric-list shapes the benches accept rather than escaping shell
@@ -146,10 +168,14 @@ int main(int argc, char** argv) {
         (std::filesystem::path(bin_dir) / exe_name).string();
     BenchResult& r = results[i];
     r.name = name;
+    r.metrics_path =
+        (std::filesystem::path(out_path).parent_path() / (name + ".metrics.json"))
+            .string();
     // Quoted so bin dirs containing spaces survive the shell's word split.
     r.command = "\"" + exe + "\" --scale=" + rpcg::format_compact(scale) +
                 " --nodes=" + std::to_string(nodes) +
-                " --reps=" + std::to_string(reps) + passthrough;
+                " --reps=" + std::to_string(reps) + passthrough +
+                " --metrics-out=\"" + r.metrics_path + "\"";
     if (!std::filesystem::exists(exe)) {
       std::fprintf(stderr,
                    "run_all: %s FAILED (binary not found at %s — typo in "
@@ -171,9 +197,15 @@ int main(int argc, char** argv) {
         keep_output ? r.command
                     : r.command + " > " + null_device + " 2>&1";
     std::fprintf(stderr, "run_all: %s ...\n", r.name.c_str());
+    // A stale metrics file from an earlier run must not masquerade as this
+    // run's numbers.
+    std::error_code ec;
+    std::filesystem::remove(r.metrics_path, ec);
     const auto start = Clock::now();
     r.exit_code = run_command(cmd);
     r.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    r.metrics = read_metrics_file(r.metrics_path);
+    std::filesystem::remove(r.metrics_path, ec);
     std::fprintf(stderr, "run_all: %s %s (%.2fs)\n", r.name.c_str(),
                  r.exit_code == 0 ? "ok" : "FAILED", r.wall_seconds);
   };
@@ -212,11 +244,16 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"benches\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
+    std::string metrics_field;
+    if (!r.metrics.empty()) {
+      metrics_field = ", \"metrics\": ";
+      metrics_field += r.metrics;
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"command\": \"%s\", "
-                 "\"exit_code\": %d, \"wall_seconds\": %.6f}%s\n",
+                 "\"exit_code\": %d, \"wall_seconds\": %.6f%s}%s\n",
                  rpcg::json_escape(r.name).c_str(), rpcg::json_escape(r.command).c_str(),
-                 r.exit_code, r.wall_seconds,
+                 r.exit_code, r.wall_seconds, metrics_field.c_str(),
                  i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -82,7 +82,9 @@ LocalSolveOutcome esr_solve_lost_x(Cluster& cluster, const CsrMatrix& a_global,
   FactorizationCache::EntryPtr entry;
   if (opts.cache != nullptr) {
     entry = opts.cache->get_or_build(
-        opts.exact_local_solve ? "esr/ldlt" : "esr/ic0", &a_global,
+        opts.exact_local_solve ? "esr/ldlt" : "esr/ic0",
+        opts.matrix_key ? *opts.matrix_key
+                        : FactorizationCache::matrix_key(a_global),
         failed_nodes, build_entry);
   } else {
     entry = std::make_shared<const FactorizationCache::Entry>(build_entry());

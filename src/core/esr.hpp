@@ -14,17 +14,18 @@
 //   8. the redundant stores hosted on the replacements are re-armed.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <utility>
 
 #include "core/backup_store.hpp"
+#include "core/factorization_cache.hpp"
 #include "precond/preconditioner.hpp"
 #include "sim/cluster.hpp"
 #include "sim/dist_vector.hpp"
 #include "sparse/csr.hpp"
 
 namespace rpcg {
-
-class FactorizationCache;
 
 struct EsrOptions {
   /// Relative residual reduction for the local reconstruction system
@@ -39,6 +40,11 @@ struct EsrOptions {
   /// failed node set. Simulated costs are charged either way, so results are
   /// byte-identical with and without it (see core/factorization_cache.hpp).
   FactorizationCache* cache = nullptr;
+  /// Content key of the matrix handed to esr_solve_lost_x alongside these
+  /// options. Deriving the key hashes every stored entry of A, so the
+  /// long-lived engines memoize it here at setup; when unset (one-shot
+  /// callers, tests) each cached solve derives it on the fly.
+  std::optional<FactorizationCache::MatrixKey> matrix_key;
 };
 
 struct RecoveryStats {
@@ -78,7 +84,10 @@ class EsrReconstructor {
   /// preconditioner (also static data). Both must outlive the reconstructor.
   EsrReconstructor(const CsrMatrix& a_global, const Preconditioner& m,
                    EsrOptions opts)
-      : a_global_(&a_global), m_(&m), opts_(opts) {}
+      : a_global_(&a_global), m_(&m), opts_(std::move(opts)) {
+    if (opts_.cache != nullptr && !opts_.matrix_key)
+      opts_.matrix_key = FactorizationCache::matrix_key(a_global);
+  }
 
   /// Recovers the complete solver state {x, r, z, p, p_prev} of the failed
   /// nodes. On entry the failed nodes are marked failed in the cluster and

@@ -1,16 +1,55 @@
 #include "core/factorization_cache.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 namespace rpcg {
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// FNV-1a over the 8 bytes of `v`, little-endian byte order regardless of
+// host endianness so the digest is platform-stable.
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h = (h ^ ((v >> (8 * b)) & 0xffu)) * kFnvPrime;
+  }
+}
+
+}  // namespace
+
+FactorizationCache::MatrixKey FactorizationCache::matrix_key(
+    const CsrMatrix& a) {
+  MatrixKey key;
+  key.rows = a.rows();
+  key.cols = a.cols();
+  key.nnz = a.nnz();
+  std::uint64_t h = kFnvOffset;
+  for (const Index p : a.row_ptr()) fnv_mix(h, static_cast<std::uint64_t>(p));
+  for (const Index c : a.col_idx()) fnv_mix(h, static_cast<std::uint64_t>(c));
+  // Hash value *bit patterns*: distinguishes -0.0 from 0.0 and never depends
+  // on floating-point comparison semantics.
+  for (const double v : a.values()) fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+  key.digest = h;
+  return key;
+}
+
+void FactorizationCache::set_upstream(Upstream upstream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  upstream_ = std::move(upstream);
+}
+
 FactorizationCache::EntryPtr FactorizationCache::get_or_build(
-    std::string_view tag, const void* matrix_id, std::span<const NodeId> nodes,
-    const std::function<Entry()>& build) {
+    std::string_view tag, const MatrixKey& matrix,
+    std::span<const NodeId> nodes, const std::function<Entry()>& build) {
   std::vector<NodeId> sorted(nodes.begin(), nodes.end());
   std::sort(sorted.begin(), sorted.end());
-  Key key{std::string(tag), matrix_id, std::move(sorted)};
+  Key key{std::string(tag), matrix, std::move(sorted)};
 
+  Upstream upstream;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
@@ -19,12 +58,17 @@ FactorizationCache::EntryPtr FactorizationCache::get_or_build(
       return it->second;
     }
     ++stats_.misses;
+    upstream = upstream_;
   }
 
   // Build outside the lock: factorization can be expensive and must not
   // serialize unrelated consumers. A racing builder of the same key wastes
   // work but both produce identical entries (pure function of the key).
-  EntryPtr entry = std::make_shared<const Entry>(build());
+  // With an upstream installed, delegate so entries are shared across
+  // sibling caches; the result is retained locally either way.
+  EntryPtr entry = upstream
+                       ? upstream(tag, matrix, std::get<2>(key), build)
+                       : std::make_shared<const Entry>(build());
 
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = entries_.emplace(std::move(key), entry);

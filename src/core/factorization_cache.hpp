@@ -18,6 +18,7 @@
 // its other partial work.
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,12 +56,45 @@ class FactorizationCache {
     std::size_t entries = 0;        ///< currently cached
   };
 
+  /// Content-derived matrix identity: dimensions, nnz, and an FNV-1a digest
+  /// over the sparsity pattern and the value bit patterns. Two CsrMatrix
+  /// objects with identical content map to the same key even when they live
+  /// at different addresses — the property that lets caches be shared across
+  /// Problems that each own a copy of the same repro matrix. Distinct
+  /// matrices of equal shape differ in the digest (any value or pattern bit
+  /// flips it), so tag reuse can never alias them.
+  struct MatrixKey {
+    Index rows = 0;
+    Index cols = 0;
+    Index nnz = 0;
+    std::uint64_t digest = 0;
+    friend auto operator<=>(const MatrixKey&, const MatrixKey&) = default;
+  };
+
+  /// Computes the content key of `a`. O(nnz); consumers with an immutable
+  /// matrix should compute it once and reuse it.
+  [[nodiscard]] static MatrixKey matrix_key(const CsrMatrix& a);
+
+  /// Second-level lookup consulted on a local miss before building. The
+  /// upstream receives the same (tag, matrix, sorted nodes, build) and must
+  /// return a non-null entry (typically by building on its own miss); the
+  /// local cache then retains the returned entry. Local miss stats still
+  /// count — they mean "not resident here", whatever the upstream did.
+  using Upstream = std::function<EntryPtr(std::string_view tag,
+                                          const MatrixKey& matrix,
+                                          std::span<const NodeId> nodes,
+                                          const std::function<Entry()>& build)>;
+
+  /// Installs (or clears, with nullptr) the upstream lookup. Thread-safe,
+  /// but meant to be called before solving starts, not mid-solve.
+  void set_upstream(Upstream upstream);
+
   /// Returns the entry for (tag, matrix, nodes), building it with `build` on
   /// a miss. `nodes` need not be sorted; the key uses the sorted set. The
   /// returned pointer stays valid after invalidation/clear (shared
   /// ownership). Thread-safe; `build` runs outside the cache lock.
   [[nodiscard]] EntryPtr get_or_build(std::string_view tag,
-                                      const void* matrix_id,
+                                      const MatrixKey& matrix,
                                       std::span<const NodeId> nodes,
                                       const std::function<Entry()>& build);
 
@@ -73,11 +107,12 @@ class FactorizationCache {
   [[nodiscard]] Stats stats() const;
 
  private:
-  using Key = std::tuple<std::string, const void*, std::vector<NodeId>>;
+  using Key = std::tuple<std::string, MatrixKey, std::vector<NodeId>>;
 
   mutable std::mutex mu_;
   std::map<Key, EntryPtr> entries_;
   Stats stats_;
+  Upstream upstream_;
 };
 
 }  // namespace rpcg

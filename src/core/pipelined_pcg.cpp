@@ -52,6 +52,8 @@ PipelinedPcg::PipelinedPcg(Cluster& cluster, const CsrMatrix& a_global,
       opts_(std::move(opts)),
       a_(std::move(a)) {
   RPCG_CHECK(opts_.phi >= 0, "phi must be non-negative");
+  if (opts_.esr.cache != nullptr && !opts_.esr.matrix_key)
+    opts_.esr.matrix_key = FactorizationCache::matrix_key(a_global);
   if (opts_.phi > 0) {
     scheme_ = RedundancyScheme::build(a_->scatter_plan(), cluster_.partition(),
                                       opts_.phi, opts_.strategy,

@@ -20,6 +20,8 @@ ResilientBicgstab::ResilientBicgstab(Cluster& cluster, const CsrMatrix& a_global
       opts_(opts) {
   RPCG_CHECK(opts_.phi >= 0 && opts_.phi < cluster.num_nodes(),
              "phi must satisfy 0 <= phi < N");
+  if (opts_.esr.cache != nullptr && !opts_.esr.matrix_key)
+    opts_.esr.matrix_key = FactorizationCache::matrix_key(a_global);
   if (opts_.phi > 0) {
     scheme_ = RedundancyScheme::build(a.scatter_plan(), cluster.partition(),
                                       opts_.phi, opts_.strategy,

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,16 @@ class Problem {
     return *cache_;
   }
 
+  /// Content key of matrix_global(), memoized on first use: deriving it
+  /// hashes every stored entry, so solvers must not re-derive it per solve
+  /// (let alone per recovery). First call is not thread-safe — it happens
+  /// during solver setup, before any job/worker fan-out touches the bundle.
+  [[nodiscard]] const FactorizationCache::MatrixKey& matrix_key() const {
+    if (!matrix_key_)
+      matrix_key_ = FactorizationCache::matrix_key(*a_global_);
+    return *matrix_key_;
+  }
+
   /// Fresh simulated cluster: all nodes alive, clock at zero, current noise
   /// settings applied. Every solve of a registry solver starts from one.
   [[nodiscard]] Cluster make_cluster() const;
@@ -100,6 +111,7 @@ class Problem {
   // unique_ptr so the bundle stays movable (the cache holds a mutex).
   std::unique_ptr<FactorizationCache> cache_ =
       std::make_unique<FactorizationCache>();
+  mutable std::optional<FactorizationCache::MatrixKey> matrix_key_;
 };
 
 /// Fluent builder. Exactly one matrix source is required; everything else

@@ -1,71 +1,19 @@
 #include "engine/solve_report.hpp"
 
-#include <charconv>
-
 #include "util/json.hpp"
+#include "util/json_writer.hpp"
 
 namespace rpcg::engine {
 
 namespace {
 
-// Shortest round-trip representation — deterministic across platforms,
-// unlike printf's locale- and precision-sensitive %g.
-std::string fmt(double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
-}
-
-std::string fmt(bool v) { return v ? "true" : "false"; }
+// Shortest round-trip rendering (see util/json_writer.hpp), named tersely
+// because every field below goes through it.
+std::string fmt(double v) { return json_double(v); }
+std::string fmt(bool v) { return json_bool(v); }
 
 constexpr const char* kPhaseNames[kNumPhases] = {"iteration", "redundancy",
                                                  "checkpoint", "recovery"};
-
-class JsonWriter {
- public:
-  explicit JsonWriter(int indent) : base_(indent) {}
-
-  void open(const char* bracket = "{") { line(bracket); ++depth_; }
-  void close(const char* bracket = "}", bool comma = false) {
-    --depth_;
-    std::string s = bracket;
-    if (comma) s += ',';
-    line(s);
-  }
-  void field(const char* key, const std::string& rendered, bool comma = true) {
-    std::string s = "\"";
-    s += key;
-    s += "\": ";
-    s += rendered;
-    if (comma) s += ',';
-    line(s);
-  }
-  void raw(std::string rendered, bool comma = true) {
-    if (comma) rendered += ',';
-    line(rendered);
-  }
-  void open_field(const char* key, const char* bracket) {
-    std::string s = "\"";
-    s += key;
-    s += "\": ";
-    s += bracket;
-    line(s);
-    ++depth_;
-  }
-
-  [[nodiscard]] std::string str() && { return std::move(out_); }
-
- private:
-  void line(const std::string& s) {
-    out_.append(static_cast<std::size_t>(base_ + 2 * depth_), ' ');
-    out_ += s;
-    out_ += '\n';
-  }
-
-  std::string out_;
-  int base_;
-  int depth_ = 0;
-};
 
 }  // namespace
 
@@ -137,9 +85,7 @@ std::string SolveReport::to_json(int indent) const {
   }
   w.close("]", false);
   w.close("}", false);
-  std::string out = std::move(w).str();
-  if (!out.empty() && out.back() == '\n') out.pop_back();
-  return out;
+  return std::move(w).str();
 }
 
 namespace {

@@ -36,9 +36,14 @@ Cluster make_cluster(const Problem& problem, const SolverConfig& config) {
   return cluster;
 }
 
-/// The Problem's factorization cache, or nullptr when the config opts out.
-FactorizationCache* esr_cache(Problem& problem, const SolverConfig& config) {
-  return config.factorization_cache ? &problem.factorization_cache() : nullptr;
+/// Wires the Problem's factorization cache (or nullptr when the config
+/// opts out) plus its memoized matrix content key into the ESR options —
+/// solvers must never force esr_solve_lost_x to re-derive the key.
+void wire_esr_cache(EsrOptions& esr, Problem& problem,
+                    const SolverConfig& config) {
+  esr.cache = config.factorization_cache ? &problem.factorization_cache()
+                                         : nullptr;
+  if (esr.cache != nullptr) esr.matrix_key = problem.matrix_key();
 }
 
 /// Snapshot the Problem's cache counters into the report when the config
@@ -100,7 +105,7 @@ class ResilientPcgSolver final : public Solver {
     opts.strategy = config_.strategy;
     opts.strategy_seed = config_.strategy_seed;
     opts.esr = config_.esr;
-    opts.esr.cache = esr_cache(problem, config_);
+    wire_esr_cache(opts.esr, problem, config_);
     opts.checkpoint_interval = config_.checkpoint_interval;
     opts.events = config_.events;
     ResilientPcg engine(cluster, problem.matrix_global(), problem.matrix(),
@@ -148,7 +153,7 @@ class PipelinedSolver final : public Solver {
       opts.strategy = config_.strategy;
       opts.strategy_seed = config_.strategy_seed;
       opts.esr = config_.esr;
-      opts.esr.cache = esr_cache(problem, config_);
+      wire_esr_cache(opts.esr, problem, config_);
     }
     opts.events = config_.events;
     PipelinedPcg engine(cluster, problem.matrix_global(), problem.matrix(),
@@ -186,7 +191,7 @@ class BicgstabSolver final : public Solver {
     opts.strategy = config_.strategy;
     opts.strategy_seed = config_.strategy_seed;
     opts.esr = config_.esr;
-    opts.esr.cache = esr_cache(problem, config_);
+    wire_esr_cache(opts.esr, problem, config_);
     opts.events = config_.events;
     ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
                              problem.preconditioner(), opts);

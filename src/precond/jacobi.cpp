@@ -49,6 +49,7 @@ void JacobiPreconditioner::esr_recover_residual(
 ExplicitPreconditioner::ExplicitPreconditioner(CsrMatrix p,
                                                const Partition& partition)
     : p_global_(std::move(p)),
+      p_key_(FactorizationCache::matrix_key(p_global_)),
       p_dist_(DistMatrix::distribute(p_global_, partition)) {
   RPCG_CHECK(p_global_.is_symmetric(1e-12),
              "explicit preconditioner must be symmetric");
@@ -102,7 +103,7 @@ void ExplicitPreconditioner::esr_recover_residual(
     k += static_cast<std::size_t>(part.size(f));
   }
   const FactorizationCache::EntryPtr entry = cache_.get_or_build(
-      "explicit-p/ldlt", &p_global_, failed_nodes, [&]() {
+      "explicit-p/ldlt", p_key_, failed_nodes, [&]() {
         FactorizationCache::Entry e;
         e.a_ff = p_global_.submatrix(rows, rows);
         e.ldlt = ReorderedLdlt::factor(e.a_ff);

@@ -50,6 +50,7 @@ class ExplicitPreconditioner final : public Preconditioner {
 
  private:
   CsrMatrix p_global_;
+  FactorizationCache::MatrixKey p_key_;  // content key of the immutable P
   DistMatrix p_dist_;
   mutable std::vector<std::vector<double>> halos_;  // apply() workspace
   // P_{IF,IF} factorizations reused across recoveries of the same failed

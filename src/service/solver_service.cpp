@@ -1,0 +1,227 @@
+#include "service/solver_service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/registry.hpp"
+#include "repro/matrices.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/json_writer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rpcg::service {
+
+std::string to_string(OutputOrder order) { return enum_to_string(order); }
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Builds the Problem, runs the solver, and folds any failure into
+/// JobResult::error — one broken job must never take the batch down.
+JobResult run_one(const JobSpec& spec, std::size_t index,
+                  SharedFactorizationCache* shared) {
+  JobResult result;
+  result.index = index;
+  if (spec.name.empty()) {
+    result.name = "job-";
+    result.name += std::to_string(index);
+  } else {
+    result.name = spec.name;
+  }
+  result.matrix_id = spec.matrix_id();
+  result.solver = spec.solver;
+  result.precond = spec.precond;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    repro::ReproMatrix mat = repro::make_matrix(spec.matrix, spec.scale);
+    engine::Problem problem = engine::ProblemBuilder()
+                                  .matrix(std::move(mat.matrix))
+                                  .nodes(spec.nodes)
+                                  .preconditioner(spec.precond)
+                                  .rhs_strategy(spec.rhs)
+                                  .noise(spec.noise_cv, spec.noise_seed)
+                                  .build();
+    if (shared != nullptr) {
+      problem.factorization_cache().set_upstream(shared->as_upstream());
+    }
+    const auto solver =
+        engine::SolverRegistry::instance().create(spec.solver, spec.config);
+    DistVector x = problem.make_x();
+    result.report = solver->solve(problem, x, spec.schedule);
+    result.problem_cache = problem.factorization_cache().stats();
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(std::move(options)) {
+  RPCG_CHECK(options_.workers >= 0, "workers must be >= 0");
+  RPCG_CHECK(options_.max_in_flight >= 0, "max_in_flight must be >= 0");
+}
+
+ServiceReport SolverService::run(std::span<const JobSpec> jobs,
+                                 const Sink& sink) {
+  const int workers =
+      options_.workers > 0 ? options_.workers : ThreadPool::shared().size();
+  const int max_in_flight =
+      options_.max_in_flight > 0 ? options_.max_in_flight : workers;
+
+  ServiceReport summary;
+  summary.workers = workers;
+  summary.order = options_.order;
+  summary.shared_cache = options_.shared_cache;
+  summary.jobs.resize(jobs.size());
+
+  SharedFactorizationCache shared(options_.shared_cache_capacity);
+  SharedFactorizationCache* shared_ptr =
+      options_.shared_cache ? &shared : nullptr;
+
+  // One mutex covers result storage, the in-flight bound, and the sink —
+  // the sink is never entered concurrently with itself, and submission-
+  // order flushing reads `done` under the same lock that wrote it.
+  struct EmitState {
+    std::mutex mu;
+    std::condition_variable cv;  // signaled when in_flight drops
+    int in_flight = 0;
+    std::size_t next = 0;  // submission-order flush cursor
+    std::vector<char> done;
+  };
+  EmitState emit;
+  emit.done.assign(jobs.size(), 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Jobs run on a private pool; their inner threaded loops (if any) use the
+  // disjoint shared pool. See the header's deadlock note.
+  {
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      {
+        std::unique_lock<std::mutex> lock(emit.mu);
+        emit.cv.wait(lock,
+                     [&emit, max_in_flight] {
+                       return emit.in_flight < max_in_flight;
+                     });
+        ++emit.in_flight;
+      }
+      const JobSpec& spec = jobs[i];
+      futures.push_back(pool.submit([&summary, &emit, &sink, &spec, i,
+                                     shared_ptr, order = options_.order] {
+        JobResult result = run_one(spec, i, shared_ptr);
+        {
+          std::lock_guard<std::mutex> lock(emit.mu);
+          summary.jobs[i] = std::move(result);
+          emit.done[i] = 1;
+          --emit.in_flight;
+          if (sink) {
+            if (order == OutputOrder::kCompletion) {
+              sink(summary.jobs[i]);
+            } else {
+              while (emit.next < emit.done.size() &&
+                     emit.done[emit.next] != 0) {
+                sink(summary.jobs[emit.next]);
+                ++emit.next;
+              }
+            }
+          }
+        }
+        emit.cv.notify_all();
+      }));
+    }
+    // Job exceptions are folded into JobResult::error inside run_one; get()
+    // only rethrows scheduler-level failures (a genuine bug).
+    for (std::future<void>& f : futures) f.get();
+  }
+
+  summary.wall_seconds = seconds_since(t0);
+  summary.shared_stats = shared.stats();
+  summary.total_factorizations = 0;
+  for (const JobResult& job : summary.jobs) {
+    if (!job.ok()) ++summary.failed;
+    if (!options_.shared_cache) {
+      summary.total_factorizations += job.problem_cache.misses;
+    }
+  }
+  if (options_.shared_cache) {
+    summary.total_factorizations = summary.shared_stats.misses;
+  }
+  summary.jobs_per_second =
+      summary.wall_seconds > 0.0
+          ? static_cast<double>(jobs.size()) / summary.wall_seconds
+          : 0.0;
+  return summary;
+}
+
+std::string JobResult::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.open();
+  w.field("index", std::to_string(index));
+  w.field("name", json_quote(name));
+  w.field("matrix", json_quote(matrix_id));
+  w.field("solver", json_quote(solver));
+  w.field("preconditioner", json_quote(precond));
+  w.field("status", json_quote(ok() ? "ok" : "error"));
+  if (!ok()) w.field("error", json_quote(error));
+  w.field("wall_seconds", json_double(wall_seconds));
+  w.open_field("problem_cache", "{");
+  w.field("hits", std::to_string(problem_cache.hits));
+  w.field("misses", std::to_string(problem_cache.misses));
+  w.field("invalidated", std::to_string(problem_cache.invalidated));
+  w.field("entries", std::to_string(problem_cache.entries), false);
+  w.close("}", ok());
+  if (ok()) w.embed_field("report", report.to_json(w.current_indent()), false);
+  w.close("}", false);
+  return std::move(w).str();
+}
+
+std::string ServiceReport::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.open();
+  w.field("schema", json_quote("rpcg-service-report/v1"));
+  w.field("workers", std::to_string(workers));
+  w.field("order", json_quote(service::to_string(order)));
+  w.field("shared_cache", json_bool(shared_cache));
+  w.open_field("summary", "{");
+  w.field("jobs", std::to_string(jobs.size()));
+  w.field("failed", std::to_string(failed));
+  w.field("total_factorizations", std::to_string(total_factorizations));
+  w.field("wall_seconds", json_double(wall_seconds));
+  w.field("jobs_per_second", json_double(jobs_per_second), shared_cache);
+  if (shared_cache) {
+    w.open_field("shared_cache", "{");
+    w.field("hits", std::to_string(shared_stats.hits));
+    w.field("misses", std::to_string(shared_stats.misses));
+    w.field("evictions", std::to_string(shared_stats.evictions));
+    w.field("entries", std::to_string(shared_stats.entries), false);
+    w.close("}", false);
+  }
+  w.close("}", true);
+  w.open_field("jobs", "[");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    w.raw(jobs[i].to_json(w.current_indent()).substr(
+              static_cast<std::size_t>(w.current_indent())),
+          i + 1 < jobs.size());
+  }
+  w.close("]", false);
+  w.close("}", false);
+  return std::move(w).str();
+}
+
+}  // namespace rpcg::service

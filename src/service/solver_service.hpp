@@ -1,0 +1,141 @@
+// SolverService: the concurrent multi-problem engine.
+//
+// A service run takes a batch of JobSpecs, builds one engine::Problem per
+// job (repro matrix -> ProblemBuilder -> registry solver), schedules the
+// jobs over a private worker pool with a bounded in-flight count, and
+// streams one JobResult per job to a caller-supplied sink. Two output
+// orders: completion order (lowest latency to first result) and submission
+// order (deterministic stream — the mode the byte-identical-across-worker-
+// counts battery locks in).
+//
+// Pools: jobs run on a *private* pool, never on ThreadPool::shared(). A job
+// whose SolverConfig asks for threaded execution fans its per-node loops
+// out over the shared pool from inside its job task; if the jobs themselves
+// also occupied the shared pool, its workers could all be blocked inside
+// run_chunked waiting for chunk tasks that can never be scheduled. Keeping
+// the two layers on disjoint pools makes the composition deadlock-free (the
+// same reasoning run_all applies to its child benches).
+//
+// The cross-job SharedFactorizationCache is wired under each Problem's
+// private cache via FactorizationCache::set_upstream, so identical
+// reconstruction setups (same matrix content, same failed node set) are
+// factorized once per batch. Per-job reports are unaffected: upstream hits
+// change who builds, never what is charged.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/factorization_cache.hpp"
+#include "engine/solve_report.hpp"
+#include "service/job.hpp"
+#include "service/shared_cache.hpp"
+#include "util/enum_names.hpp"
+
+namespace rpcg::service {
+
+enum class OutputOrder {
+  kSubmission,  ///< results stream in job-file order (deterministic)
+  kCompletion,  ///< results stream as jobs finish (lowest latency)
+};
+
+}  // namespace rpcg::service
+
+namespace rpcg {
+
+template <>
+struct EnumNames<service::OutputOrder> {
+  static constexpr const char* context = "output order";
+  static constexpr std::array<std::pair<service::OutputOrder, const char*>, 2>
+      table{{{service::OutputOrder::kSubmission, "submission"},
+             {service::OutputOrder::kCompletion, "completion"}}};
+};
+
+}  // namespace rpcg
+
+namespace rpcg::service {
+
+[[nodiscard]] std::string to_string(OutputOrder order);
+
+struct ServiceOptions {
+  /// Job-level parallelism; 0 means "size of the shared pool" (which tracks
+  /// hardware concurrency).
+  int workers = 0;
+  /// Jobs admitted into the worker queue at once; 0 means `workers`.
+  /// Submission blocks when the limit is reached, bounding the memory held
+  /// by queued Problems.
+  int max_in_flight = 0;
+  bool shared_cache = true;
+  std::size_t shared_cache_capacity =
+      SharedFactorizationCache::kDefaultCapacity;
+  OutputOrder order = OutputOrder::kSubmission;
+};
+
+/// One job's outcome. `error` is empty on success and carries the
+/// exception message on failure (a failed job never aborts the batch).
+struct JobResult {
+  std::size_t index = 0;  ///< submission index
+  std::string name;
+  std::string matrix_id;
+  std::string solver;
+  std::string precond;
+  engine::SolveReport report;
+  std::string error;
+  /// The job's per-Problem cache counters (deterministic: local misses are
+  /// counted whether or not an upstream served them).
+  FactorizationCache::Stats problem_cache;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  /// Deterministic JSON except the wall_seconds fields (here and inside the
+  /// embedded solve report) — the same contract as SolveReport::to_json.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+/// Whole-batch summary, schema `rpcg-service-report/v1`. `jobs` is always
+/// in submission order regardless of the streaming order.
+struct ServiceReport {
+  std::vector<JobResult> jobs;
+  int workers = 0;
+  OutputOrder order = OutputOrder::kSubmission;
+  bool shared_cache = false;
+  SharedFactorizationCache::Stats shared_stats;
+  /// Factorizations actually built: the shared cache's misses when it is
+  /// on, the sum of per-Problem misses when it is off. The cache-on vs
+  /// cache-off delta of this number is the bench/service_throughput
+  /// acceptance metric.
+  std::uint64_t total_factorizations = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+class SolverService {
+ public:
+  using Sink = std::function<void(const JobResult&)>;
+
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Runs the batch to completion, streaming each JobResult to `sink` (may
+  /// be empty) in the configured order, and returns the summary. The sink
+  /// is never called concurrently with itself. Blocking; safe to call
+  /// repeatedly (each run gets a fresh shared cache).
+  [[nodiscard]] ServiceReport run(std::span<const JobSpec> jobs,
+                                  const Sink& sink = {});
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+};
+
+}  // namespace rpcg::service

@@ -72,6 +72,21 @@ int ThreadPool::size() const {
   return static_cast<int>(impl_->workers.size());
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  // packaged_task is move-only but std::function requires copyable targets,
+  // so the queue entry holds it through a shared_ptr.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    RPCG_CHECK(!impl_->stopping, "submit on a stopping pool");
+    impl_->tasks.emplace_back([packaged] { (*packaged)(); });
+  }
+  impl_->work_cv.notify_one();
+  return future;
+}
+
 void ThreadPool::run_chunked(
     std::size_t n, int max_chunks,
     const std::function<void(std::size_t, std::size_t)>& chunk_fn) {

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <string>
 #include <utility>
 
@@ -72,6 +73,14 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& shared();
 
   [[nodiscard]] int size() const;
+
+  /// Enqueues one task and returns a future that becomes ready when it
+  /// finishes (holding the task's exception, if it threw). Unlike
+  /// run_chunked this never blocks the caller — it is the scheduler-facing
+  /// primitive for coarse-grained jobs (SolverService). Tasks submitted from
+  /// inside a pool task on the *same* pool can deadlock its run_chunked
+  /// users; keep job pools and compute pools separate.
+  [[nodiscard]] std::future<void> submit(std::function<void()> task);
 
   /// Splits [0, n) into at most `max_chunks` contiguous ranges and runs
   /// `chunk_fn(begin, end)` for each on the pool, blocking until all chunks

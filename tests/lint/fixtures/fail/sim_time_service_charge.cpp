@@ -1,0 +1,13 @@
+// lint-fixture: expect(sim-time) path(src/service/sim_time_service_charge.cpp)
+// The service scheduler charging simulated time: host-side orchestration
+// must never touch the model clock — simulated costs belong inside the
+// engine a job runs, never in the scheduler around it.
+#include "sim/cluster.hpp"
+
+namespace rpcg::service {
+
+void account_job_overhead(Cluster& cluster) {
+  cluster.charge(Phase::kIteration, 1.0e-3);
+}
+
+}  // namespace rpcg::service

@@ -1,0 +1,14 @@
+// lint-fixture: expect-clean path(src/service/clean_service.cpp)
+// Host-side orchestration may measure *wall* time (steady_clock only feeds
+// wall_seconds, documented as host-dependent) as long as the simulated
+// clock stays untouched.
+#include <chrono>
+
+namespace rpcg::service {
+
+double host_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace rpcg::service

@@ -6,7 +6,10 @@
 // charged on hits too).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factorization_cache.hpp"
@@ -125,24 +128,24 @@ TEST(FactorizationCache, DirectApiAccounting) {
     e.a_ff = CsrMatrix::identity(4);
     return e;
   };
-  const int marker = 0;  // any stable address works as the matrix id
+  const auto marker = FactorizationCache::matrix_key(CsrMatrix::identity(4));
   const std::vector<NodeId> set{2, 0};
 
-  const auto first = cache.get_or_build("t", &marker, set, build);
+  const auto first = cache.get_or_build("t", marker, set, build);
   // Node order must not matter: {0, 2} is the same key as {2, 0}.
   const std::vector<NodeId> sorted_set{0, 2};
-  const auto second = cache.get_or_build("t", &marker, sorted_set, build);
+  const auto second = cache.get_or_build("t", marker, sorted_set, build);
   EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ(builds, 1);
 
-  // Different tag or matrix id: different entries.
-  (void)cache.get_or_build("u", &marker, set, build);
-  const int other = 0;
-  (void)cache.get_or_build("t", &other, set, build);
+  // Different tag or matrix key: different entries.
+  (void)cache.get_or_build("u", marker, set, build);
+  const auto other = FactorizationCache::matrix_key(CsrMatrix::identity(5));
+  (void)cache.get_or_build("t", other, set, build);
   EXPECT_EQ(builds, 3);
 
   // Invalidation by intersection; non-intersecting sets survive.
-  (void)cache.get_or_build("t", &marker, std::vector<NodeId>{5}, build);
+  (void)cache.get_or_build("t", marker, std::vector<NodeId>{5}, build);
   const std::vector<NodeId> hit_set{2};
   EXPECT_EQ(cache.invalidate_overlapping(hit_set), 3u);
   auto s = cache.stats();
@@ -156,6 +159,109 @@ TEST(FactorizationCache, DirectApiAccounting) {
 
   // Entries returned before clear() stay alive (shared ownership).
   EXPECT_EQ(first->a_ff.rows(), 4);
+}
+
+TEST(FactorizationCache, MatrixKeyIsContentDerived) {
+  // Two distinct objects with identical content share one key: this is what
+  // lets a shared cache hit across Problems that each own a matrix copy.
+  const CsrMatrix a = poisson2d_5pt(9, 9);
+  const CsrMatrix b = poisson2d_5pt(9, 9);
+  ASSERT_NE(&a, &b);
+  const auto ka = FactorizationCache::matrix_key(a);
+  EXPECT_EQ(ka, FactorizationCache::matrix_key(b));
+  EXPECT_EQ(ka.rows, a.rows());
+  EXPECT_EQ(ka.nnz, a.nnz());
+
+  FactorizationCache cache;
+  int builds = 0;
+  const auto build = [&builds]() {
+    ++builds;
+    FactorizationCache::Entry e;
+    e.a_ff = CsrMatrix::identity(2);
+    return e;
+  };
+  const std::vector<NodeId> set{0};
+  (void)cache.get_or_build("t", FactorizationCache::matrix_key(a), set, build);
+  (void)cache.get_or_build("t", FactorizationCache::matrix_key(b), set, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(FactorizationCache, MatrixKeySeparatesEqualShapeMatrices) {
+  // Same dims and nnz, one value perturbed: only the digest can tell them
+  // apart, and it must — tag reuse across different matrices must never
+  // alias (the collision-behavior guarantee of the content key).
+  const CsrMatrix a = poisson2d_5pt(9, 9);
+  CsrMatrix b = poisson2d_5pt(9, 9);
+  b.mutable_values()[7] += 1e-12;
+  const auto ka = FactorizationCache::matrix_key(a);
+  const auto kb = FactorizationCache::matrix_key(b);
+  EXPECT_EQ(ka.rows, kb.rows);
+  EXPECT_EQ(ka.nnz, kb.nnz);
+  EXPECT_NE(ka.digest, kb.digest);
+  EXPECT_NE(ka, kb);
+
+  // The digest hashes value *bit patterns*, so even -0.0 vs 0.0 separates.
+  CsrMatrix c = poisson2d_5pt(9, 9);
+  CsrMatrix d = poisson2d_5pt(9, 9);
+  c.mutable_values()[0] = 0.0;
+  d.mutable_values()[0] = -0.0;
+  EXPECT_NE(FactorizationCache::matrix_key(c),
+            FactorizationCache::matrix_key(d));
+
+  FactorizationCache cache;
+  int builds = 0;
+  const auto build = [&builds]() {
+    ++builds;
+    FactorizationCache::Entry e;
+    e.a_ff = CsrMatrix::identity(2);
+    return e;
+  };
+  const std::vector<NodeId> set{1};
+  (void)cache.get_or_build("t", ka, set, build);
+  (void)cache.get_or_build("t", kb, set, build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FactorizationCache, UpstreamServesLocalMisses) {
+  // Two sibling caches layered over one upstream: the second sibling's miss
+  // is served by the upstream's retained entry, so the build runs once.
+  FactorizationCache upstream;
+  FactorizationCache left, right;
+  const auto delegate = [&upstream](std::string_view tag,
+                                    const FactorizationCache::MatrixKey& m,
+                                    std::span<const NodeId> nodes,
+                                    const std::function<FactorizationCache::Entry()>& build) {
+    return upstream.get_or_build(tag, m, nodes, build);
+  };
+  left.set_upstream(delegate);
+  right.set_upstream(delegate);
+
+  int builds = 0;
+  const auto build = [&builds]() {
+    ++builds;
+    FactorizationCache::Entry e;
+    e.a_ff = CsrMatrix::identity(3);
+    return e;
+  };
+  const auto key = FactorizationCache::matrix_key(CsrMatrix::identity(3));
+  const std::vector<NodeId> set{0, 1};
+
+  const auto from_left = left.get_or_build("t", key, set, build);
+  const auto from_right = right.get_or_build("t", key, set, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(from_left.get(), from_right.get());
+
+  // Both locals missed (the entry was not resident), the upstream saw one
+  // miss and one hit; each local now holds the entry and hits on its own.
+  EXPECT_EQ(left.stats().misses, 1u);
+  EXPECT_EQ(right.stats().misses, 1u);
+  EXPECT_EQ(upstream.stats().misses, 1u);
+  EXPECT_EQ(upstream.stats().hits, 1u);
+  (void)left.get_or_build("t", key, set, build);
+  EXPECT_EQ(left.stats().hits, 1u);
+  EXPECT_EQ(upstream.stats().hits, 1u);  // not consulted again
 }
 
 class CachedVsUncached : public ::testing::TestWithParam<bool> {};

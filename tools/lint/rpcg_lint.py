@@ -39,6 +39,12 @@ Rules (run with --list-rules for the one-line form):
                        direct SimClock mutation (clock().advance/.set_noise/
                        .set_paused/.reset) bypasses the single point where
                        noise, pause state, and phase accounting are applied.
+                       src/service/ is held to a stricter bar: the service
+                       layer is host-side orchestration, so even the charging
+                       API (.charge/.charge_compute/.charge_parallel_seconds/
+                       .charge_allreduce/.set_clock_noise) is banned there —
+                       simulated costs belong inside the engine a job runs,
+                       never in the scheduler around it.
 
   header-pragma-once   Every header starts with #pragma once (first
                        non-comment, non-blank line).
@@ -113,6 +119,12 @@ POST_RE = re.compile(
 WAIT_RE = re.compile(r"\.\s*wait\s*\(")
 SIM_TIME_RE = re.compile(
     r"(?:\.\s*clock\s*\(\s*\)|\bclock_)\s*\.\s*(?:advance|set_noise|set_paused|reset)\s*\("
+)
+# The sim-time charging API, banned wholesale under src/service/ (the
+# scheduler must stay off the model clock entirely).
+SERVICE_CHARGE_RE = re.compile(
+    r"\.\s*(?:charge_compute|charge_parallel_seconds|charge_allreduce"
+    r"|charge|set_clock_noise)\s*\("
 )
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
@@ -278,6 +290,15 @@ def check_sim_time(ctx: FileContext) -> None:
                 "Cluster::charge()/charge_compute()/charge_allreduce() (or "
                 "ClockPause) so phase accounting, pause state, and noise are "
                 "applied in one place")
+    if ctx.in_dir("src/service/"):
+        for lineno, line in enumerate(ctx.code_lines, start=1):
+            if SERVICE_CHARGE_RE.search(line):
+                ctx.report(
+                    "sim-time", lineno,
+                    "sim-time charge in src/service/ — the service layer is "
+                    "host-side orchestration and must never touch the "
+                    "simulated clock; charge inside the engine the job runs, "
+                    "not in the scheduler around it")
 
 
 def check_header_hygiene(ctx: FileContext) -> None:
@@ -316,7 +337,8 @@ RULE_SUMMARY = {
     "unordered-iteration": "no iteration over unordered_map/unordered_set"
                            " (order is implementation-defined)",
     "split-phase": "every TU that posts a reduction (post_*/i*) also wait()s",
-    "sim-time": "SimClock is mutated only under src/sim/; charge via Cluster",
+    "sim-time": "SimClock is mutated only under src/sim/; charge via Cluster"
+                " (and src/service/ never charges at all)",
     "header-pragma-once": "headers start with #pragma once",
     "header-using-namespace": "no using-directives in headers",
     "suppression": "every allow()/allow-file() states a reason",
