@@ -1,0 +1,210 @@
+#include "core/failure_scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rpcg {
+
+std::string to_string(ScenarioKind k) { return enum_to_string(k); }
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("scenario: " + what);
+}
+
+/// True when adding `candidate` to `taken` would put a forbidden buddy pair
+/// {i, (i + shift) mod N} into the episode union.
+bool pairs_with(NodeId candidate, const std::vector<NodeId>& taken, int shift,
+                int num_nodes) {
+  if (shift <= 0) return false;
+  const NodeId up = (candidate + shift) % num_nodes;
+  const NodeId down = (candidate - shift + num_nodes) % num_nodes;
+  for (const NodeId t : taken) {
+    if (t == up || t == down) return true;
+  }
+  return false;
+}
+
+/// Draws `count` distinct nodes, disjoint from `episode` and (when
+/// forbid_pair_shift > 0) adding no buddy pair to the episode union.
+/// Bounded rejection sampling: determinism needs no retry cap, but an
+/// unsatisfiable config must surface as an error, not a hang.
+std::vector<NodeId> pick_nodes(Rng& rng, const FailureScenarioConfig& cfg,
+                               int num_nodes, int count,
+                               const std::vector<NodeId>& episode) {
+  std::vector<NodeId> picked;
+  std::vector<NodeId> taken = episode;
+  int attempts = 0;
+  while (static_cast<int>(picked.size()) < count) {
+    if (++attempts > 64 * num_nodes) {
+      bad("cannot draw " + std::to_string(count) +
+          " nodes under the disjointness/buddy constraints (num_nodes = " +
+          std::to_string(num_nodes) + ")");
+    }
+    const NodeId c =
+        static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(num_nodes)));
+    if (std::find(taken.begin(), taken.end(), c) != taken.end()) continue;
+    if (pairs_with(c, taken, cfg.forbid_pair_shift, num_nodes)) continue;
+    picked.push_back(c);
+    taken.push_back(c);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+/// `count` distinct iterations drawn uniformly from [lo, hi], ascending.
+std::vector<int> pick_iterations(Rng& rng, int count, int lo, int hi) {
+  if (hi - lo + 1 < count) {
+    bad("iteration range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+        "] cannot hold " + std::to_string(count) + " distinct events");
+  }
+  std::vector<int> iters;
+  while (static_cast<int>(iters.size()) < count) {
+    const int j =
+        lo + static_cast<int>(rng.uniform_index(
+                 static_cast<std::uint64_t>(hi - lo + 1)));
+    if (std::find(iters.begin(), iters.end(), j) == iters.end())
+      iters.push_back(j);
+  }
+  std::sort(iters.begin(), iters.end());
+  return iters;
+}
+
+int draw_psi(Rng& rng, const FailureScenarioConfig& cfg) {
+  return 1 + static_cast<int>(rng.uniform_index(
+                 static_cast<std::uint64_t>(cfg.max_nodes_per_event)));
+}
+
+/// One node set, failing `count` times at distinct iterations in [lo, hi].
+void gen_correlated(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
+                    int count, int lo, int hi, FailureSchedule& out) {
+  const std::vector<NodeId> set =
+      pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+  for (const int j : pick_iterations(rng, count, lo, hi)) {
+    FailureEvent ev;
+    ev.iteration = j;
+    ev.nodes = set;
+    out.add(std::move(ev));
+  }
+}
+
+/// `count` independent failures at distinct iterations inside a window of
+/// cfg.window iterations placed uniformly in [lo, hi].
+void gen_cascading(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
+                   int count, int lo, int hi, FailureSchedule& out) {
+  const int span = std::min(cfg.window, hi - lo + 1);
+  if (span < count) {
+    bad("window of " + std::to_string(span) + " iterations cannot hold " +
+        std::to_string(count) + " distinct burst events");
+  }
+  const int start =
+      lo + static_cast<int>(rng.uniform_index(
+               static_cast<std::uint64_t>(hi - lo + 1 - (span - 1))));
+  for (const int j : pick_iterations(rng, count, start, start + span - 1)) {
+    FailureEvent ev;
+    ev.iteration = j;
+    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+    out.add(std::move(ev));
+  }
+}
+
+/// A chain of `count` pairwise-disjoint events at one iteration in [lo, hi]:
+/// the first is an ordinary failure, every follower strikes during the
+/// recovery of the union so far.
+void gen_during_recovery(Rng& rng, const FailureScenarioConfig& cfg,
+                         int num_nodes, int count, int lo, int hi,
+                         FailureSchedule& out) {
+  const int j = lo + static_cast<int>(rng.uniform_index(
+                         static_cast<std::uint64_t>(hi - lo + 1)));
+  std::vector<NodeId> episode;
+  for (int k = 0; k < count; ++k) {
+    FailureEvent ev;
+    ev.iteration = j;
+    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), episode);
+    ev.during_recovery = k > 0;
+    episode.insert(episode.end(), ev.nodes.begin(), ev.nodes.end());
+    out.add(std::move(ev));
+  }
+}
+
+void validate(const FailureScenarioConfig& cfg, int num_nodes) {
+  if (num_nodes < 2) bad("need at least 2 nodes");
+  if (cfg.events < 1) bad("events must be >= 1");
+  if (cfg.horizon < 1) bad("horizon must be >= 1");
+  if (cfg.window < 1) bad("window must be >= 1");
+  if (cfg.max_nodes_per_event < 1) bad("max_nodes_per_event must be >= 1");
+  if (cfg.forbid_pair_shift < 0 || cfg.forbid_pair_shift >= num_nodes)
+    bad("forbid_pair_shift must be in [0, num_nodes)");
+  // Every episode needs at least one survivor to detect the failure and to
+  // hold redundant state; during-recovery chains accumulate the whole
+  // episode before anything is recovered.
+  const int worst_union = cfg.kind == ScenarioKind::kDuringRecovery
+                              ? cfg.events * cfg.max_nodes_per_event
+                              : (cfg.kind == ScenarioKind::kMixed
+                                     ? 2 * cfg.max_nodes_per_event
+                                     : cfg.max_nodes_per_event);
+  if (worst_union > num_nodes - 1) {
+    bad("an episode may lose up to " + std::to_string(worst_union) +
+        " nodes but only " + std::to_string(num_nodes - 1) +
+        " can fail with a survivor left");
+  }
+  if (cfg.kind == ScenarioKind::kMixed && cfg.horizon < 9)
+    bad("mixed needs horizon >= 9 (three disjoint episode ranges)");
+}
+
+}  // namespace
+
+FailureSchedule generate_scenario(const FailureScenarioConfig& cfg,
+                                  int num_nodes) {
+  FailureSchedule out;
+  if (cfg.kind == ScenarioKind::kNone) return out;
+  validate(cfg, num_nodes);
+  Rng rng(cfg.seed ^ 0xC5CADE5CEA110ULL);
+  switch (cfg.kind) {
+    case ScenarioKind::kNone:
+      break;
+    case ScenarioKind::kCorrelated:
+      gen_correlated(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon, out);
+      break;
+    case ScenarioKind::kCascading:
+      gen_cascading(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon, out);
+      break;
+    case ScenarioKind::kDuringRecovery:
+      gen_during_recovery(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon,
+                          out);
+      break;
+    case ScenarioKind::kMixed: {
+      // One episode of each class in disjoint thirds of [1, horizon], so no
+      // cross-class events ever merge at one iteration.
+      const int h1 = cfg.horizon / 3;
+      const int h2 = 2 * cfg.horizon / 3;
+      gen_correlated(rng, cfg, num_nodes, 2, 1, h1, out);
+      gen_cascading(rng, cfg, num_nodes, 2, h1 + 1, h2, out);
+      gen_during_recovery(rng, cfg, num_nodes, 2, h2 + 1, cfg.horizon, out);
+      break;
+    }
+  }
+  return out;
+}
+
+int max_concurrent_failures(const FailureSchedule& schedule) {
+  int worst = 0;
+  for (const FailureEvent& ev : schedule.events()) {
+    std::vector<NodeId> merged;
+    for (const FailureEvent& other : schedule.events()) {
+      if (other.iteration != ev.iteration) continue;
+      for (const NodeId f : other.nodes) {
+        if (std::find(merged.begin(), merged.end(), f) == merged.end())
+          merged.push_back(f);
+      }
+    }
+    worst = std::max(worst, static_cast<int>(merged.size()));
+  }
+  return worst;
+}
+
+}  // namespace rpcg

@@ -1,0 +1,88 @@
+// Adversarial failure scenarios layered over FailureSchedule.
+//
+// A FailureSchedule is an explicit list of events; a FailureScenario is a
+// seeded *generator* of such lists, modeling the failure patterns the
+// resilience literature stresses beyond the paper's single-event protocol:
+//
+//   correlated       the same node set fails repeatedly at distinct
+//                    iterations (a flaky board / switch takes its victims
+//                    down again after each replacement)
+//   cascading        a burst of independent failures lands within a short
+//                    iteration window (a power or cooling event rippling
+//                    through racks)
+//   during-recovery  follow-up failures strike while the recovery of a
+//                    first event is still underway (the overlapping-failure
+//                    path of Sec. 4.1, as a whole chain)
+//   mixed            one episode of each of the above, in disjoint
+//                    iteration ranges
+//
+// Generation is bit-deterministic in (config, num_nodes): the same seed
+// yields the same schedule on every platform (util/rng.hpp), which is what
+// lets the fuzz battery compare threaded vs sequential runs byte-for-byte
+// and lets jobs name a scenario instead of spelling out events.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/failure_schedule.hpp"
+#include "util/enum_names.hpp"
+
+namespace rpcg {
+
+enum class ScenarioKind {
+  kNone,            ///< no generated failures (explicit schedules only)
+  kCorrelated,      ///< same-node-set repeat failures
+  kCascading,       ///< independent failures bursting within a window
+  kDuringRecovery,  ///< overlapping-failure chain at one iteration
+  kMixed,           ///< one episode of each, in disjoint ranges
+};
+
+template <>
+struct EnumNames<ScenarioKind> {
+  static constexpr const char* context = "scenario kind";
+  static constexpr std::array<std::pair<ScenarioKind, const char*>, 5> table{
+      {{ScenarioKind::kNone, "none"},
+       {ScenarioKind::kCorrelated, "correlated"},
+       {ScenarioKind::kCascading, "cascading"},
+       {ScenarioKind::kDuringRecovery, "during-recovery"},
+       {ScenarioKind::kMixed, "mixed"}}};
+};
+
+[[nodiscard]] std::string to_string(ScenarioKind k);
+
+struct FailureScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kNone;
+  std::uint64_t seed = 0;
+  /// Failure events per episode (the during-recovery chain length; for
+  /// kMixed each episode uses its own small fixed count).
+  int events = 3;
+  /// Nodes lost per event are drawn uniformly from [1, max_nodes_per_event].
+  int max_nodes_per_event = 1;
+  /// Iterations are drawn from [1, horizon]. Keep it well under the
+  /// solver's expected iteration count or late events never fire.
+  int horizon = 20;
+  /// Width of the cascading burst window, in iterations (>= events so the
+  /// burst's iterations can be distinct).
+  int window = 3;
+  /// When > 0, no episode's failed-node union may contain both i and
+  /// (i + shift) mod num_nodes — the constraint under which twin-pcg's
+  /// buddy redundancy (shift = num_nodes / 2) stays recoverable.
+  int forbid_pair_shift = 0;
+};
+
+/// Generates the schedule for the configured scenario. Deterministic in
+/// (cfg, num_nodes). Throws std::invalid_argument when the config is not
+/// satisfiable (e.g. more nodes per episode than the cluster has spares,
+/// horizon too small for the requested distinct iterations).
+[[nodiscard]] FailureSchedule generate_scenario(const FailureScenarioConfig& cfg,
+                                                int num_nodes);
+
+/// Largest failed-node union over any single iteration of the schedule —
+/// the phi an ESR-family solver needs to survive it (events at one
+/// iteration are merged by the engines, flagged during-recovery or not).
+[[nodiscard]] int max_concurrent_failures(const FailureSchedule& schedule);
+
+}  // namespace rpcg

@@ -54,6 +54,22 @@ std::string SolveReport::to_json(int indent) const {
     w.field("entries", std::to_string(cache_stats.entries), false);
     w.close("}", true);
   }
+  if (report_checkpoint) {
+    w.open_field("checkpoint", "{");
+    w.field("medium", json_quote(checkpoint_medium));
+    w.field("interval", std::to_string(checkpoint_interval));
+    w.field("write_per_element", fmt(checkpoint_write_per_element_s));
+    w.field("read_per_element", fmt(checkpoint_read_per_element_s));
+    w.field("access_latency", fmt(checkpoint_latency_s), false);
+    w.close("}", true);
+  }
+  if (report_scenario) {
+    w.open_field("scenario", "{");
+    w.field("kind", json_quote(scenario_kind));
+    w.field("seed", std::to_string(scenario_seed));
+    w.field("events", std::to_string(scenario_events), false);
+    w.close("}", true);
+  }
   w.field("checkpoints_written", std::to_string(checkpoints_written));
   w.field("rolled_back_iterations", std::to_string(rolled_back_iterations));
   w.open_field("recoveries", "[");

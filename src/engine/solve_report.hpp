@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,25 @@ struct SolveReport {
   /// so legacy `rpcg-solve-report/v1` output stays byte-identical.
   FactorizationCache::Stats cache_stats;
   bool report_cache_stats = false;
+
+  /// Resolved checkpoint cost model of the "checkpoint-recovery" family
+  /// (medium name, interval, actual per-element/latency charges).
+  /// Serialized only when `report_checkpoint` is set
+  /// (SolverConfig::report_checkpoint) — opt-in like the blocks above.
+  std::string checkpoint_medium;
+  int checkpoint_interval = 0;
+  double checkpoint_write_per_element_s = 0.0;
+  double checkpoint_read_per_element_s = 0.0;
+  double checkpoint_latency_s = 0.0;
+  bool report_checkpoint = false;
+
+  /// Generated failure scenario the solve ran against (kind, seed, number
+  /// of generated events). Serialized only when `report_scenario` is set
+  /// (SolverConfig::report_scenario).
+  std::string scenario_kind;
+  std::uint64_t scenario_seed = 0;
+  int scenario_events = 0;
+  bool report_scenario = false;
 
   [[nodiscard]] double recovery_sim_time() const {
     return sim_time_phase[static_cast<std::size_t>(Phase::kRecovery)];

@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <string>
 
+#include "core/checkpoint.hpp"      // CheckpointMedium, CheckpointCostModel
 #include "core/events.hpp"
+#include "core/failure_scenario.hpp"
 #include "core/failure_schedule.hpp"
 #include "core/resilient_pcg.hpp"   // RecoveryMethod, EsrOptions
 #include "engine/problem.hpp"
@@ -44,8 +46,26 @@ struct SolverConfig {
   BackupStrategy strategy = BackupStrategy::kPaperAlternating;
   std::uint64_t strategy_seed = 0;
   EsrOptions esr;
-  /// Checkpoint interval in iterations (checkpoint-restart only).
+  /// Checkpoint interval in iterations ("resilient-pcg" with
+  /// checkpoint-restart, and the "checkpoint-recovery" family).
   int checkpoint_interval = 50;
+  /// Cost model of the "checkpoint-recovery" family: where the checkpoints
+  /// live (memory vs disk) and, optionally, explicit per-element/latency
+  /// charges overriding the medium defaults (core/checkpoint.hpp).
+  CheckpointCostModel checkpoint;
+  /// Embed the resolved checkpoint cost model + interval into the report
+  /// JSON ("checkpoint" block). Opt-in: legacy `rpcg-solve-report/v1`
+  /// output stays byte-identical when unset.
+  bool report_checkpoint = false;
+
+  /// Generated failure scenario (core/failure_scenario.hpp). When the
+  /// schedule handed to solve() is empty and `scenario.kind` is not kNone,
+  /// the resilient families solve against
+  /// generate_scenario(scenario, nodes); an explicit schedule always wins.
+  FailureScenarioConfig scenario;
+  /// Embed the scenario's kind/seed/event count into the report JSON
+  /// ("scenario" block). Opt-in like `report_checkpoint`.
+  bool report_scenario = false;
 
   /// Stationary family only.
   StationaryMethod stationary_method = StationaryMethod::kJacobi;
@@ -76,6 +96,10 @@ struct SolverConfig {
 
   /// Reads --rtol, --max-iterations, --recovery, --phi, --strategy,
   /// --strategy-seed, --local-rtol, --checkpoint-interval,
+  /// --checkpoint-medium, --checkpoint-write-cost, --checkpoint-read-cost,
+  /// --checkpoint-latency, --report-checkpoint, --scenario,
+  /// --scenario-seed, --scenario-events, --scenario-nodes,
+  /// --scenario-horizon, --scenario-window, --report-scenario,
   /// --stationary-method, --omega, --exec, --workers,
   /// --factorization-cache, --report-cache-stats. Unknown enum names throw
   /// std::invalid_argument listing the valid keys.

@@ -8,9 +8,12 @@
 // needs to know about it.
 #include <memory>
 
+#include "core/checkpoint_recovery.hpp"
+#include "core/failure_scenario.hpp"
 #include "core/pipelined_pcg.hpp"
 #include "core/resilient_bicgstab.hpp"
 #include "core/resilient_pcg.hpp"
+#include "core/twin_pcg.hpp"
 #include "engine/registry.hpp"
 #include "solver/pcg.hpp"
 #include "solver/stationary.hpp"
@@ -58,6 +61,35 @@ void attach_cache_stats(SolveReport& rep, Problem& problem,
   rep.report_cache_stats = true;
 }
 
+/// The schedule a resilient solve actually runs: an explicit schedule wins;
+/// otherwise a configured scenario generates one for this cluster size.
+/// `forbid_pair_shift` lets a family overlay its own coverage constraint
+/// (twin-pcg forbids buddy pairs) without the caller knowing it.
+FailureSchedule effective_schedule(const SolverConfig& config,
+                                   const FailureSchedule& schedule,
+                                   int num_nodes, int forbid_pair_shift = 0) {
+  if (!schedule.empty() || config.scenario.kind == ScenarioKind::kNone)
+    return schedule;
+  FailureScenarioConfig scenario = config.scenario;
+  if (forbid_pair_shift > 0) scenario.forbid_pair_shift = forbid_pair_shift;
+  return generate_scenario(scenario, num_nodes);
+}
+
+/// Stamps the scenario block into the report when the config opts in and a
+/// scenario was actually configured (an explicit-schedule solve gets no
+/// block — it would describe events the solve never ran).
+void attach_scenario(SolveReport& rep, const SolverConfig& config,
+                     const FailureSchedule& ran) {
+  if (!config.report_scenario ||
+      config.scenario.kind == ScenarioKind::kNone) {
+    return;
+  }
+  rep.scenario_kind = to_string(config.scenario.kind);
+  rep.scenario_seed = config.scenario.seed;
+  rep.scenario_events = static_cast<int>(ran.events().size());
+  rep.report_scenario = true;
+}
+
 /// The reference (non-resilient) PCG, wrapping the legacy pcg_solve free
 /// function unchanged — it is the bit-for-bit baseline the resilient
 /// engine is tested against, so it must stay exactly that code path.
@@ -97,6 +129,8 @@ class ResilientPcgSolver final : public Solver {
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
     Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched =
+        effective_schedule(config_, schedule, cluster.num_nodes());
     ResilientPcgOptions opts;
     opts.pcg.rtol = config_.rtol;
     opts.pcg.max_iterations = config_.max_iterations;
@@ -110,12 +144,13 @@ class ResilientPcgSolver final : public Solver {
     opts.events = config_.events;
     ResilientPcg engine(cluster, problem.matrix_global(), problem.matrix(),
                         problem.preconditioner(), opts);
-    const ResilientPcgResult res = engine.solve(problem.rhs(), x, schedule);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
     SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
     rep.redundancy_overhead_per_iteration =
         engine.redundancy_overhead_per_iteration();
     rep.reductions = cluster.reduction_times();
     attach_cache_stats(rep, problem, config_);
+    attach_scenario(rep, config_, sched);
     return rep;
   }
 
@@ -145,6 +180,9 @@ class PipelinedSolver final : public Solver {
                  "'pipelined-resilient-pcg'");
     }
     Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched =
+        resilient_ ? effective_schedule(config_, schedule, cluster.num_nodes())
+                   : schedule;
     PipelinedPcgOptions opts;
     opts.pcg.rtol = config_.rtol;
     opts.pcg.max_iterations = config_.max_iterations;
@@ -158,13 +196,14 @@ class PipelinedSolver final : public Solver {
     opts.events = config_.events;
     PipelinedPcg engine(cluster, problem.matrix_global(), problem.matrix(),
                         problem.preconditioner(), opts);
-    const ResilientPcgResult res = engine.solve(problem.rhs(), x, schedule);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
     SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
     rep.redundancy_overhead_per_iteration =
         engine.redundancy_overhead_per_iteration();
     rep.reductions = cluster.reduction_times();
     rep.report_reductions = true;
     attach_cache_stats(rep, problem, config_);
+    if (resilient_) attach_scenario(rep, config_, sched);
     return rep;
   }
 
@@ -184,6 +223,8 @@ class BicgstabSolver final : public Solver {
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
     Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched =
+        effective_schedule(config_, schedule, cluster.num_nodes());
     BicgstabOptions opts;
     opts.rtol = config_.rtol;
     opts.max_iterations = config_.max_iterations;
@@ -196,9 +237,91 @@ class BicgstabSolver final : public Solver {
     ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
                              problem.preconditioner(), opts);
     SolveReport rep = make_report(name(), problem.preconditioner_name(),
-                                  engine.solve(problem.rhs(), x, schedule));
+                                  engine.solve(problem.rhs(), x, sched));
     rep.reductions = cluster.reduction_times();
     attach_cache_stats(rep, problem, config_);
+    attach_scenario(rep, config_, sched);
+    return rep;
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+/// Algorithm-based checkpoint-recovery (core/checkpoint_recovery.hpp):
+/// periodic {x, r, p} checkpoints under the config's memory/disk cost
+/// model, global rollback on failure. No redundant copies, so any
+/// failed-node subset with a survivor is recoverable.
+class CheckpointRecoverySolver final : public Solver {
+ public:
+  explicit CheckpointRecoverySolver(const SolverConfig& config)
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "checkpoint-recovery";
+  }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched =
+        effective_schedule(config_, schedule, cluster.num_nodes());
+    CheckpointRecoveryOptions opts;
+    opts.pcg.rtol = config_.rtol;
+    opts.pcg.max_iterations = config_.max_iterations;
+    opts.interval = config_.checkpoint_interval;
+    opts.costs = config_.checkpoint;
+    opts.events = config_.events;
+    CheckpointRecoveryPcg engine(cluster, problem.matrix_global(),
+                                 problem.matrix(), problem.preconditioner(),
+                                 opts);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
+    SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
+    rep.reductions = cluster.reduction_times();
+    if (config_.report_checkpoint) {
+      const CheckpointCostModel costs = engine.resolved_costs();
+      rep.checkpoint_medium = to_string(costs.medium);
+      rep.checkpoint_interval = opts.interval;
+      rep.checkpoint_write_per_element_s = costs.write_per_element_s;
+      rep.checkpoint_read_per_element_s = costs.read_per_element_s;
+      rep.checkpoint_latency_s = costs.access_latency_s;
+      rep.report_checkpoint = true;
+    }
+    attach_scenario(rep, config_, sched);
+    return rep;
+  }
+
+ private:
+  SolverConfig config_;
+};
+
+/// TwinCG-style dual redundancy (core/twin_pcg.hpp): buddy nodes mirror
+/// each other's live state, failures forward-recover by copying from the
+/// twin — no reconstruction, no rollback. Generated scenarios are
+/// constrained to buddy-pair-free episodes (forbid_pair_shift = N/2).
+class TwinPcgSolver final : public Solver {
+ public:
+  explicit TwinPcgSolver(const SolverConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "twin-pcg"; }
+
+  [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
+                                  const FailureSchedule& schedule) override {
+    Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched = effective_schedule(
+        config_, schedule, cluster.num_nodes(), cluster.num_nodes() / 2);
+    TwinPcgOptions opts;
+    opts.pcg.rtol = config_.rtol;
+    opts.pcg.max_iterations = config_.max_iterations;
+    opts.events = config_.events;
+    TwinPcg engine(cluster, problem.matrix_global(), problem.matrix(),
+                   problem.preconditioner(), opts);
+    const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
+    SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
+    rep.redundancy_overhead_per_iteration =
+        engine.redundancy_overhead_per_iteration();
+    rep.reductions = cluster.reduction_times();
+    attach_scenario(rep, config_, sched);
     return rep;
   }
 
@@ -215,6 +338,8 @@ class StationarySolver final : public Solver {
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
     Cluster cluster = make_cluster(problem, config_);
+    const FailureSchedule sched =
+        effective_schedule(config_, schedule, cluster.num_nodes());
     StationaryOptions opts;
     opts.method = config_.stationary_method;
     opts.omega = config_.omega;
@@ -230,8 +355,9 @@ class StationarySolver final : public Solver {
     // `solver` stays the registry key per the SolveReport contract, and the
     // method actually swept is the config's stationary_method.
     SolveReport rep =
-        make_report(name(), "none", engine.solve(problem.rhs(), x, schedule));
+        make_report(name(), "none", engine.solve(problem.rhs(), x, sched));
     rep.reductions = cluster.reduction_times();
+    attach_scenario(rep, config_, sched);
     return rep;
   }
 
@@ -254,6 +380,27 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   c.esr.local_rtol = o.get_double("local-rtol", c.esr.local_rtol);
   c.checkpoint_interval = static_cast<int>(
       o.get_int("checkpoint-interval", c.checkpoint_interval));
+  c.checkpoint.medium =
+      o.get_enum<CheckpointMedium>("checkpoint-medium", c.checkpoint.medium);
+  c.checkpoint.write_per_element_s =
+      o.get_double("checkpoint-write-cost", c.checkpoint.write_per_element_s);
+  c.checkpoint.read_per_element_s =
+      o.get_double("checkpoint-read-cost", c.checkpoint.read_per_element_s);
+  c.checkpoint.access_latency_s =
+      o.get_double("checkpoint-latency", c.checkpoint.access_latency_s);
+  c.report_checkpoint = o.get_bool("report-checkpoint", c.report_checkpoint);
+  c.scenario.kind = o.get_enum<ScenarioKind>("scenario", c.scenario.kind);
+  c.scenario.seed = static_cast<std::uint64_t>(
+      o.get_int("scenario-seed", static_cast<long>(c.scenario.seed)));
+  c.scenario.events =
+      static_cast<int>(o.get_int("scenario-events", c.scenario.events));
+  c.scenario.max_nodes_per_event = static_cast<int>(
+      o.get_int("scenario-nodes", c.scenario.max_nodes_per_event));
+  c.scenario.horizon =
+      static_cast<int>(o.get_int("scenario-horizon", c.scenario.horizon));
+  c.scenario.window =
+      static_cast<int>(o.get_int("scenario-window", c.scenario.window));
+  c.report_scenario = o.get_bool("report-scenario", c.report_scenario);
   c.stationary_method =
       o.get_enum<StationaryMethod>("stationary-method", c.stationary_method);
   c.omega = o.get_double("omega", c.omega);
@@ -280,6 +427,12 @@ void register_builtin_solvers(SolverRegistry& registry) {
   });
   registry.register_solver("resilient-bicgstab", [](const SolverConfig& c) {
     return std::make_unique<BicgstabSolver>(c);
+  });
+  registry.register_solver("checkpoint-recovery", [](const SolverConfig& c) {
+    return std::make_unique<CheckpointRecoverySolver>(c);
+  });
+  registry.register_solver("twin-pcg", [](const SolverConfig& c) {
+    return std::make_unique<TwinPcgSolver>(c);
   });
   registry.register_solver("stationary", [](const SolverConfig& c) {
     return std::make_unique<StationarySolver>(c);

@@ -23,6 +23,11 @@ constexpr const char* kConfigKeys[] = {
     "local-rtol",     "checkpoint-interval", "stationary-method",
     "omega",          "exec",            "workers",
     "factorization-cache", "report-cache-stats",
+    "checkpoint-medium",   "checkpoint-write-cost",
+    "checkpoint-read-cost", "checkpoint-latency", "report-checkpoint",
+    "scenario",       "scenario-seed",   "scenario-events",
+    "scenario-nodes", "scenario-horizon", "scenario-window",
+    "report-scenario",
 };
 
 // Keys the job parser consumes directly.
@@ -153,7 +158,11 @@ JobSpec parse_job(const JsonValue& value) {
   JobSpec spec;
   std::vector<std::string> config_args;
   config_args.emplace_back("job");  // argv[0], skipped by Options
+  bool saw_failures = false;
+  bool saw_scenario = false;
   for (const auto& [key, member] : value.as_object()) {
+    if (key == "failures") saw_failures = true;
+    if (key == "scenario") saw_scenario = true;
     if (key == "name") {
       spec.name = member.as_string();
     } else if (key == "matrix") {
@@ -182,6 +191,11 @@ JobSpec parse_job(const JsonValue& value) {
     } else {
       fail("unknown key \"" + key + "\" (" + valid_keys_message() + ")");
     }
+  }
+  if (saw_failures && saw_scenario) {
+    // A generated scenario only applies when the explicit schedule is empty
+    // (engine rule); a job naming both is almost certainly a mistake.
+    fail("a job takes \"failures\" or \"scenario\", not both");
   }
 
   std::vector<const char*> argv;

@@ -15,6 +15,10 @@
 // Failure events come in two shapes: explicit node lists
 // ({"iteration": I, "nodes": [a, b], "during-recovery": false}) and the
 // paper's contiguous protocol ({"iteration": I, "first": F, "psi": P}).
+// Alternatively "scenario": "correlated" | "cascading" | "during-recovery" |
+// "mixed" (plus scenario-seed/-events/-nodes/-horizon/-window) names a
+// seeded generator instead of spelling out events; a job may use "failures"
+// or "scenario", not both.
 // Solver-config keys (rtol, recovery, phi, strategy, exec, workers, ...)
 // are forwarded through SolverConfig::from_options, so the job file and the
 // bench command lines can never drift apart on spellings or semantics.

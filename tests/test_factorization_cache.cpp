@@ -119,6 +119,80 @@ TEST(FactorizationCache, OverlappingFailureInvalidatesIntersectingEntries) {
   EXPECT_EQ(problem.factorization_cache().stats().misses, 3u);
 }
 
+TEST(FactorizationCache,
+     PipelinedSolverInvalidatesOnFailureDuringRecoveryToo) {
+  // The pipelined engine shares the ESR reconstruction path; a chain that
+  // interrupts a recovery must drop the in-flight entry there as well.
+  engine::Problem problem = make_problem();
+  engine::SolverConfig cfg = esr_config(4, true);
+
+  const auto solve_pipelined = [&](const FailureSchedule& schedule) {
+    const auto solver =
+        engine::SolverRegistry::instance().create("pipelined-resilient-pcg",
+                                                  cfg);
+    DistVector x = problem.make_x();
+    return solver->solve(problem, x, schedule);
+  };
+
+  (void)solve_pipelined(schedule_at(2, {1, 2}));
+  ASSERT_EQ(problem.factorization_cache().stats().entries, 1u);
+
+  FailureSchedule overlap = schedule_at(2, {1, 2});
+  FailureEvent second;
+  second.iteration = 2;
+  second.nodes = {3};
+  second.during_recovery = true;
+  overlap.add(std::move(second));
+  (void)solve_pipelined(overlap);
+
+  const auto s = problem.factorization_cache().stats();
+  EXPECT_EQ(s.invalidated, 1u);   // the {1, 2} entry
+  EXPECT_EQ(s.entries, 1u);       // only the union {1, 2, 3} remains
+  EXPECT_EQ(s.hits, 0u);
+
+  (void)solve_pipelined(schedule_at(2, {1, 2}));
+  EXPECT_EQ(problem.factorization_cache().stats().misses, 3u);
+}
+
+TEST(FactorizationCache, UpstreamRetainsEntriesPastLocalInvalidation) {
+  // Layered setup as the service wires it: a job-local cache delegating to a
+  // shared upstream. A failure-during-recovery invalidates the local entry,
+  // but the upstream keeps its copy — the next request is an upstream hit,
+  // not a rebuild. Cross-job reuse survives intra-job invalidation.
+  FactorizationCache upstream;
+  FactorizationCache local;
+  local.set_upstream([&upstream](std::string_view tag,
+                                 const FactorizationCache::MatrixKey& m,
+                                 std::span<const NodeId> nodes,
+                                 const std::function<FactorizationCache::Entry()>&
+                                     build) {
+    return upstream.get_or_build(tag, m, nodes, build);
+  });
+
+  int builds = 0;
+  const auto build = [&builds]() {
+    ++builds;
+    FactorizationCache::Entry e;
+    e.a_ff = CsrMatrix::identity(6);
+    return e;
+  };
+  const auto key = FactorizationCache::matrix_key(CsrMatrix::identity(6));
+  const std::vector<NodeId> set{1, 2};
+
+  (void)local.get_or_build("t", key, set, build);
+  EXPECT_EQ(builds, 1);
+
+  // A second failure of {2} lands during the recovery of {1, 2}: the solver
+  // drops every local entry intersecting the newly failed set.
+  EXPECT_EQ(local.invalidate_overlapping(std::vector<NodeId>{2}), 1u);
+  EXPECT_EQ(local.stats().entries, 0u);
+
+  const auto again = local.get_or_build("t", key, set, build);
+  EXPECT_EQ(builds, 1);  // served by the upstream, no rebuild
+  EXPECT_EQ(upstream.stats().hits, 1u);
+  EXPECT_EQ(again->a_ff.rows(), 6);
+}
+
 TEST(FactorizationCache, DirectApiAccounting) {
   FactorizationCache cache;
   int builds = 0;

@@ -6,10 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "core/failure_scenario.hpp"
 #include "core/pipelined_pcg.hpp"
 #include "core/resilient_pcg.hpp"
+#include "engine/registry.hpp"
 #include "sparse/generators.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -347,6 +354,121 @@ TEST_P(PipelinedThreadedFuzz, ThreadedRandomScenariosMatchSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedThreadedFuzz, ::testing::Range(1, 13));
+
+// ---- scenario-generator battery ------------------------------------------
+// Every resilient registry solver x every scenario class x seeds, end to end
+// through the engine: the adapters expand SolverConfig::scenario into a
+// generated schedule (twin-pcg under its buddy constraint), every run must
+// converge with consistent recovery records, and the threaded policy must
+// match the sequential one byte-for-byte (TSan'd via -L parallel). The
+// nightly workflow deepens the sweep through RPCG_FUZZ_MULTIPLIER.
+
+/// Extra repetitions per registered seed; the ctest-discovered test list is
+/// fixed at build time, so the nightly 10x sweep scales the in-test loop
+/// rather than the parameter range.
+int fuzz_multiplier() {
+  const char* env = std::getenv("RPCG_FUZZ_MULTIPLIER");
+  if (env == nullptr) return 1;
+  const int m = std::atoi(env);
+  return m > 0 ? m : 1;
+}
+
+struct ScenarioRun {
+  bool converged = false;
+  std::string report_json;
+  std::vector<double> solution;
+  std::vector<RecoveryRecord> recoveries;
+};
+
+using ScenarioParam = std::tuple<std::string, ScenarioKind, int>;
+
+class ScenarioFuzz : public ::testing::TestWithParam<ScenarioParam> {};
+
+TEST_P(ScenarioFuzz, EveryResilientSolverSurvivesEveryScenarioClass) {
+  const auto& [solver_name, kind, base_seed] = GetParam();
+  for (int rep = 0; rep < fuzz_multiplier(); ++rep) {
+    const auto seed = static_cast<std::uint64_t>(base_seed + 1000 * rep);
+
+    engine::SolverConfig cfg;
+    cfg.rtol = 1e-9;
+    cfg.phi = 3;  // covers the during-recovery union (3 x 1 node)
+    cfg.checkpoint_interval = 5;
+    if (solver_name == "resilient-pcg") cfg.recovery = RecoveryMethod::kEsr;
+    cfg.scenario.kind = kind;
+    cfg.scenario.seed = seed;
+    cfg.scenario.events = 3;
+    cfg.scenario.max_nodes_per_event = 1;
+    cfg.scenario.horizon = 12;
+    cfg.scenario.window = 3;
+
+    const auto run = [&](const ExecutionPolicy& exec) {
+      engine::Problem problem = engine::ProblemBuilder()
+                                    .matrix(poisson2d_5pt(12, 12))
+                                    .nodes(8)
+                                    .preconditioner("bjacobi")
+                                    .noise(0.02, 7)  // jitter scales time only
+                                    .build();
+      engine::SolverConfig c = cfg;
+      c.exec = exec;
+      const auto solver =
+          engine::SolverRegistry::instance().create(solver_name, c);
+      DistVector x = problem.make_x();
+      engine::SolveReport report = solver->solve(problem, x, {});
+      ScenarioRun out;
+      out.converged = report.converged;
+      out.recoveries = report.recoveries;
+      report.wall_seconds = 0.0;  // the only nondeterministic field
+      out.report_json = report.to_json();
+      out.solution = x.gather_global();
+      return out;
+    };
+
+    const ScenarioRun seq = run(ExecutionPolicy::sequential());
+    ASSERT_TRUE(seq.converged)
+        << solver_name << " " << to_string(kind) << " seed " << seed;
+
+    // One recovery per distinct failure iteration: 3 for correlated and
+    // cascading, 1 for a merged during-recovery chain, 2 + 2 + 1 for mixed.
+    const std::size_t expected_recoveries =
+        kind == ScenarioKind::kDuringRecovery
+            ? 1u
+            : (kind == ScenarioKind::kMixed ? 5u : 3u);
+    ASSERT_EQ(seq.recoveries.size(), expected_recoveries)
+        << solver_name << " " << to_string(kind) << " seed " << seed;
+    for (const RecoveryRecord& rec : seq.recoveries) {
+      EXPECT_GE(rec.iteration, 1);
+      EXPECT_LE(rec.iteration, cfg.scenario.horizon);
+      ASSERT_FALSE(rec.nodes.empty());
+      EXPECT_EQ(rec.stats.psi, static_cast<int>(rec.nodes.size()));
+      EXPECT_GT(rec.stats.lost_rows, 0);
+    }
+
+    const ScenarioRun thr = run(ExecutionPolicy::threaded_with(3));
+    EXPECT_EQ(seq.report_json, thr.report_json)
+        << solver_name << " " << to_string(kind) << " seed " << seed;
+    ASSERT_EQ(seq.solution.size(), thr.solution.size());
+    for (std::size_t i = 0; i < seq.solution.size(); ++i)
+      ASSERT_EQ(seq.solution[i], thr.solution[i])
+          << solver_name << " " << to_string(kind) << " seed " << seed
+          << " entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolversByScenario, ScenarioFuzz,
+    ::testing::Combine(
+        ::testing::Values("resilient-pcg", "pipelined-resilient-pcg",
+                          "checkpoint-recovery", "twin-pcg"),
+        ::testing::Values(ScenarioKind::kCorrelated, ScenarioKind::kCascading,
+                          ScenarioKind::kDuringRecovery, ScenarioKind::kMixed),
+        ::testing::Range(1, 4)),
+    [](const ::testing::TestParamInfo<ScenarioParam>& p) {
+      std::string name = std::get<0>(p.param) + "_" +
+                         to_string(std::get<1>(p.param)) + "_" +
+                         std::to_string(std::get<2>(p.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
 
 }  // namespace
 }  // namespace rpcg

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failure_scenario.hpp"
 #include "service/job.hpp"
 #include "service/json_value.hpp"
 #include "service/shared_cache.hpp"
@@ -115,6 +116,34 @@ TEST(JobParsing, FailureEventShapesAreExclusive) {
   EXPECT_THROW((void)rpcg::service::parse_job(
                    JsonValue::parse(R"({"failures": [{"iteration": 3}]})")),
                std::invalid_argument);
+}
+
+TEST(JobParsing, ScenarioKeysForwardToTheGeneratorConfig) {
+  const JobSpec job = rpcg::service::parse_job(JsonValue::parse(
+      R"({"solver": "checkpoint-recovery", "scenario": "cascading",
+          "scenario-seed": 7, "scenario-events": 4, "scenario-nodes": 2,
+          "scenario-horizon": 20, "scenario-window": 5,
+          "report-scenario": true})"));
+  EXPECT_EQ(job.config.scenario.kind, rpcg::ScenarioKind::kCascading);
+  EXPECT_EQ(job.config.scenario.seed, 7u);
+  EXPECT_EQ(job.config.scenario.events, 4);
+  EXPECT_EQ(job.config.scenario.max_nodes_per_event, 2);
+  EXPECT_EQ(job.config.scenario.horizon, 20);
+  EXPECT_EQ(job.config.scenario.window, 5);
+  EXPECT_TRUE(job.config.report_scenario);
+  // The generator expands at solve time; the parsed spec stays data-only.
+  EXPECT_TRUE(job.schedule.events().empty());
+}
+
+TEST(JobParsing, FailuresAndScenarioAreMutuallyExclusive) {
+  try {
+    (void)rpcg::service::parse_job(JsonValue::parse(
+        R"({"solver": "resilient-pcg", "scenario": "correlated",
+            "failures": [{"iteration": 3, "nodes": [1]}]})"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not both"), std::string::npos);
+  }
 }
 
 TEST(JobParsing, LineNumbersPrefixStreamErrors) {
@@ -384,6 +413,48 @@ TEST(SolverService, DefaultJobNamesUseSubmissionIndex) {
   const ServiceReport run =
       run_batch(jobs, 1, rpcg::service::OutputOrder::kSubmission);
   EXPECT_EQ(run.jobs[0].name, "job-0");
+}
+
+/// Scenario-driven batch: every job names a seeded generator instead of an
+/// explicit schedule, covering all four new strategy/scenario pairings
+/// through the service front end. Two jobs are byte-identical on purpose.
+std::vector<JobSpec> scenario_batch() {
+  std::istringstream in(R"({"name": "ckpt-a", "matrix": "M1", "scale": 256, "nodes": 8, "solver": "checkpoint-recovery", "checkpoint-interval": 4, "scenario": "during-recovery", "scenario-seed": 5, "scenario-events": 2, "scenario-nodes": 1, "scenario-horizon": 8, "report-scenario": true}
+{"name": "ckpt-b", "matrix": "M1", "scale": 256, "nodes": 8, "solver": "checkpoint-recovery", "checkpoint-interval": 4, "scenario": "during-recovery", "scenario-seed": 5, "scenario-events": 2, "scenario-nodes": 1, "scenario-horizon": 8, "report-scenario": true}
+{"name": "twin", "matrix": "M1", "scale": 256, "nodes": 8, "solver": "twin-pcg", "scenario": "correlated", "scenario-seed": 9, "scenario-events": 2, "scenario-nodes": 1, "scenario-horizon": 8}
+{"name": "esr", "matrix": "M1", "scale": 256, "nodes": 8, "solver": "resilient-pcg", "recovery": "esr", "phi": 3, "scenario": "cascading", "scenario-seed": 11, "scenario-events": 2, "scenario-nodes": 1, "scenario-horizon": 8, "scenario-window": 3})");
+  return rpcg::service::parse_job_lines(in);
+}
+
+TEST(SolverService, ScenarioJobsRunDeterministicallyAcrossWorkers) {
+  const std::vector<JobSpec> jobs = scenario_batch();
+  const ServiceReport ref =
+      run_batch(jobs, 1, rpcg::service::OutputOrder::kSubmission);
+  ASSERT_EQ(ref.failed, 0u);
+  for (const JobResult& job : ref.jobs) {
+    EXPECT_TRUE(job.report.converged) << job.name;
+  }
+  // Identical jobs produce identical solves: only the name differs.
+  {
+    rpcg::engine::SolveReport a = ref.jobs[0].report;
+    rpcg::engine::SolveReport b = ref.jobs[1].report;
+    a.wall_seconds = b.wall_seconds = 0.0;
+    EXPECT_EQ(a.to_json(), b.to_json());
+  }
+  // The opted-in scenario block lands in the job's report JSON.
+  EXPECT_NE(ref.jobs[0].report.to_json().find("\"kind\": \"during-recovery\""),
+            std::string::npos);
+  EXPECT_EQ(ref.jobs[3].report.to_json().find("\"scenario\""),
+            std::string::npos);  // not opted in
+
+  const std::vector<std::string> ref_reports = normalized_job_reports(ref);
+  for (const int workers : {2, 8}) {
+    const ServiceReport run =
+        run_batch(jobs, workers, rpcg::service::OutputOrder::kSubmission);
+    EXPECT_EQ(run.failed, 0u);
+    EXPECT_EQ(normalized_job_reports(run), ref_reports)
+        << "scenario reports diverged at workers=" << workers;
+  }
 }
 
 TEST(SolverService, MaxInFlightOneStillCompletes) {

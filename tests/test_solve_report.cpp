@@ -90,6 +90,69 @@ TEST(SolveReport, CacheStatsBlockIsOptInAndLegacyJsonUnchanged) {
   EXPECT_NE(json.find(expected_block), std::string::npos) << json;
 }
 
+TEST(SolveReport, CheckpointAndScenarioBlocksAreOptInAndLegacyJsonUnchanged) {
+  engine::SolveReport rep = sample_report();
+  // Populated fields alone must not change the serialization — exactly the
+  // cache-stats contract: only the report_* flag opts a block in, keeping
+  // the rpcg-solve-report/v1 output of every pre-existing solver
+  // byte-identical.
+  rep.checkpoint_medium = "disk";
+  rep.checkpoint_interval = 10;
+  rep.checkpoint_write_per_element_s = 1e-9;
+  rep.checkpoint_read_per_element_s = 2e-9;
+  rep.checkpoint_latency_s = 0.001;
+  rep.scenario_kind = "during-recovery";
+  rep.scenario_seed = 42;
+  rep.scenario_events = 3;
+  const std::string legacy = sample_report().to_json();
+  EXPECT_EQ(rep.to_json(), legacy);
+
+  rep.report_checkpoint = true;
+  const char* checkpoint_block = R"(  "checkpoint": {
+    "medium": "disk",
+    "interval": 10,
+    "write_per_element": 1e-09,
+    "read_per_element": 2e-09,
+    "access_latency": 0.001
+  },
+  "checkpoints_written": 2,)";
+  EXPECT_NE(rep.to_json().find(checkpoint_block), std::string::npos)
+      << rep.to_json();
+  EXPECT_EQ(rep.to_json().find("\"scenario\""), std::string::npos);
+
+  rep.report_scenario = true;
+  const char* both_blocks = R"(  "checkpoint": {
+    "medium": "disk",
+    "interval": 10,
+    "write_per_element": 1e-09,
+    "read_per_element": 2e-09,
+    "access_latency": 0.001
+  },
+  "scenario": {
+    "kind": "during-recovery",
+    "seed": 42,
+    "events": 3
+  },
+  "checkpoints_written": 2,)";
+  EXPECT_NE(rep.to_json().find(both_blocks), std::string::npos)
+      << rep.to_json();
+
+  // Scenario alone, without the checkpoint block, also lands right before
+  // checkpoints_written.
+  rep.report_checkpoint = false;
+  const char* scenario_block = R"(  "scenario": {
+    "kind": "during-recovery",
+    "seed": 42,
+    "events": 3
+  },
+  "checkpoints_written": 2,)";
+  EXPECT_NE(rep.to_json().find(scenario_block), std::string::npos)
+      << rep.to_json();
+  // "checkpoint" as a bare key still exists inside sim_time_phase; the
+  // *block* (an object) must be gone.
+  EXPECT_EQ(rep.to_json().find("\"checkpoint\": {"), std::string::npos);
+}
+
 TEST(SolveReport, IndentShiftsEveryLine) {
   const std::string json = sample_report().to_json(4);
   EXPECT_EQ(json.substr(0, 5), "    {");
