@@ -10,11 +10,19 @@ as the pipelined suite must be able to enter the trajectory), a
 baseline-only bench is DROPPED (warned, not gated). Failed benches
 (exit_code != 0) in the candidate always fail the gate, NEW ones included.
 
+When a bench keeps its name but its workload deliberately grows (a new
+sweep dimension, an extra study), the timing comparison is apples to
+oranges: pass --allow-workload-change BENCH=REASON to waive the timing
+gate for that bench in this comparison. The reason is mandatory (like
+rpcg-lint's reasoned allows) and is printed next to the WAIVED verdict;
+a waived bench that *fails* still fails the gate.
+
 Report loading and per-bench validity live in bench/report_tools.py (the
 shared trajectory reader); this script only adds the gate policy.
 
 Usage:
   bench/check_regression.py BASELINE.json CANDIDATE.json [--max-regression 15]
+      [--allow-workload-change BENCH=REASON ...]
 
 Exit code 0 = gate passed, 1 = regression or failed bench, 2 = bad input.
 """
@@ -32,7 +40,22 @@ def main():
     parser.add_argument("--max-regression", type=float, default=15.0,
                         help="max allowed wall-time regression in percent "
                              "(default: 15)")
+    parser.add_argument("--allow-workload-change", action="append",
+                        default=[], metavar="BENCH=REASON",
+                        help="waive the timing gate for BENCH because its "
+                             "workload deliberately changed; the reason is "
+                             "mandatory and printed with the verdict")
     args = parser.parse_args()
+
+    waived = {}
+    for entry in args.allow_workload_change:
+        bench_name, sep, reason = entry.partition("=")
+        if not sep or not reason.strip():
+            print(f"check_regression: --allow-workload-change '{entry}' "
+                  "needs BENCH=REASON (the reason is mandatory)",
+                  file=sys.stderr)
+            return 2
+        waived[bench_name] = reason.strip()
 
     try:
         baseline = report_tools.load_bench_report(args.baseline)
@@ -69,6 +92,11 @@ def main():
                   f"{b['exit_code']}, {b['wall_seconds']:.2f}s); not gated")
             continue
         delta = 100.0 * (c["wall_seconds"] - base_wall) / base_wall
+        if name in waived:
+            print(f"  WAIVED   {name}: {base_wall:.2f}s -> "
+                  f"{c['wall_seconds']:.2f}s ({delta:+.1f}%) — workload "
+                  f"changed: {waived[name]}")
+            continue
         verdict = "REGRESSED" if delta > args.max_regression else "ok"
         print(f"  {verdict:8s} {name}: {base_wall:.2f}s -> "
               f"{c['wall_seconds']:.2f}s ({delta:+.1f}%)")

@@ -205,7 +205,7 @@ void BM_GatherLost(benchmark::State& state) {
   const auto rows = part.rows_of_set(std::vector<NodeId>{0, 1, 2});
   for (auto _ : state) {
     auto got = store.gather_lost(cluster, rows);
-    benchmark::DoNotOptimize(got.cur.data());
+    benchmark::DoNotOptimize(got.gens[0].data());
   }
 }
 BENCHMARK(BM_GatherLost);

@@ -16,6 +16,14 @@ Two report dialects share a home here:
   including the optional ``reduction_time`` overlap block of the pipelined
   solvers.
 
+* ``rpcg-pipelined-overhead/v1`` — the depth x latency sweep the
+  pipelined_overhead bench emits via --metrics-out (run_all embeds it as
+  that bench's ``metrics`` field, so it rides inside the per-PR snapshot).
+  ``load_pipelined_sweep`` validates one and ``format_sweep`` renders the
+  exposed-reduction-time table, one row per (solver, depth), one column per
+  latency point; the trajectory command prints it for the newest snapshot
+  that carries one.
+
 bench/check_regression.py builds its gate on these readers.
 """
 
@@ -24,6 +32,7 @@ import sys
 
 BENCH_SCHEMA = "rpcg-bench-report/v1"
 SOLVE_SCHEMA = "rpcg-solve-report/v1"
+PIPELINED_SCHEMA = "rpcg-pipelined-overhead/v1"
 
 
 class ReportError(Exception):
@@ -64,6 +73,50 @@ def load_solve_report(source):
             if key not in reductions:
                 raise ReportError(f"reduction_time block lacks '{key}'")
     return report
+
+
+def load_pipelined_sweep(source):
+    """Validates one rpcg-pipelined-overhead/v1 sweep (path or parsed dict,
+    the latter for sweeps embedded as a bench record's ``metrics``)."""
+    sweep = source if isinstance(source, dict) else _load_json(source)
+    if sweep.get("schema") != PIPELINED_SCHEMA:
+        raise ReportError(f"sweep has schema {sweep.get('schema')!r}, "
+                          f"expected {PIPELINED_SCHEMA}")
+    points = sweep.get("points")
+    if not isinstance(points, list):
+        raise ReportError("pipelined sweep has no points array")
+    for p in points:
+        for key in ("matrix", "latency_s", "solver", "depth", "iterations",
+                    "converged", "posted", "hidden", "exposed"):
+            if key not in p:
+                raise ReportError(f"sweep point lacks '{key}': {p}")
+    return sweep
+
+
+def format_sweep(sweep):
+    """Renders one pipelined sweep as an exposed-seconds table: one row per
+    (matrix, solver, depth), one column per swept latency. A '!' marks
+    points that did not converge."""
+    latencies = sorted({p["latency_s"] for p in sweep["points"]})
+    rows = {}  # (matrix, solver, depth) -> {latency: point}
+    for p in sweep["points"]:
+        rows.setdefault((p["matrix"], p["solver"], p["depth"]), {})[
+            p["latency_s"]] = p
+    name_w = max(len(f"{m} {s} d{d}") for (m, s, d) in rows)
+    out = [f"{'exposed[s]':<{name_w}} " +
+           " ".join(f"{lam:>11.2e}" for lam in latencies)]
+    for (matrix, solver, depth), by_lam in sorted(rows.items()):
+        cells = []
+        for lam in latencies:
+            p = by_lam.get(lam)
+            if p is None:
+                cells.append(f"{'-':>11}")
+            else:
+                mark = " " if p["converged"] else "!"
+                cells.append(f"{p['exposed']:>10.3e}{mark}")
+        label = f"{matrix} {solver} d{depth}"
+        out.append(f"{label:<{name_w}} " + " ".join(cells))
+    return "\n".join(out)
 
 
 def bench_map(report):
@@ -140,6 +193,22 @@ def main(argv):
     labels = [p.rsplit("/", 1)[-1].removesuffix(".json") for p in paths]
     totals = [r.get("total_wall_seconds") for r in reports]
     print(format_trajectory(labels, trajectory(reports), totals))
+    # The newest snapshot carrying a pipelined depth x latency sweep gets
+    # its exposed-time table appended (the sweep rides as an embedded
+    # metrics document, so old snapshots without it stay readable).
+    for report, label in zip(reversed(reports), reversed(labels)):
+        for bench in report["benches"]:
+            metrics = bench.get("metrics")
+            if isinstance(metrics, dict) and \
+                    metrics.get("schema") == PIPELINED_SCHEMA:
+                try:
+                    sweep = load_pipelined_sweep(metrics)
+                except ReportError as e:
+                    print(f"report_tools: {label}: {e}", file=sys.stderr)
+                    return 2
+                print(f"\npipelined latency sweep ({label}):")
+                print(format_sweep(sweep))
+                return 0
     return 0
 
 

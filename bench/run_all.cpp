@@ -125,7 +125,8 @@ int main(int argc, char** argv) {
   // verbatim when given, so the recorded commands match the request.
   std::string passthrough;
   for (const char* flag :
-       {"noise", "matrices", "precond", "strategy", "exec", "workers"}) {
+       {"noise", "matrices", "precond", "strategy", "exec", "workers",
+        "depths"}) {
     if (!opts.has(flag)) continue;
     const std::string value = opts.get_string(flag, "");
     if (!safe_flag_value(value)) {

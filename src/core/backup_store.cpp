@@ -9,8 +9,10 @@ namespace rpcg {
 
 void BackupStore::configure(const ScatterPlan& plan,
                             const RedundancyScheme& scheme,
-                            const Partition& partition) {
+                            const Partition& partition, int generations) {
+  RPCG_REQUIRE(generations >= 2, "a backup store needs at least 2 generations");
   partition_ = &partition;
+  generations_ = generations;
   blocks_.clear();
   const int nn = partition.num_nodes();
   by_src_.assign(static_cast<std::size_t>(nn), {});
@@ -36,8 +38,8 @@ void BackupStore::configure(const ScatterPlan& plan,
     RetainedBlock b;
     b.src = key.first;
     b.dst = key.second;
-    b.cur.assign(indices.size(), 0.0);
-    b.prev.assign(indices.size(), 0.0);
+    b.gens.assign(static_cast<std::size_t>(generations_),
+                  std::vector<double>(indices.size(), 0.0));
     b.indices = std::move(indices);
     const int id = static_cast<int>(blocks_.size());
     by_src_[static_cast<std::size_t>(b.src)].push_back(id);
@@ -50,11 +52,12 @@ void BackupStore::record(const DistVector& p) {
   RPCG_REQUIRE(partition_ != nullptr, "store not configured");
   for (auto& b : blocks_) {
     if (!b.valid) continue;  // nothing is recorded on a failed node
-    b.prev.swap(b.cur);
+    // Rotate: the oldest generation's buffer becomes the new generation 0.
+    std::rotate(b.gens.begin(), b.gens.end() - 1, b.gens.end());
     const auto src_block = p.block(b.src);
     const Index base = partition_->begin(b.src);
     for (std::size_t k = 0; k < b.indices.size(); ++k)
-      b.cur[k] = src_block[static_cast<std::size_t>(b.indices[k] - base)];
+      b.gens[0][k] = src_block[static_cast<std::size_t>(b.indices[k] - base)];
   }
 }
 
@@ -62,8 +65,7 @@ void BackupStore::invalidate_node(NodeId d) {
   RPCG_REQUIRE(partition_ != nullptr, "store not configured");
   for (const int id : by_dst_[static_cast<std::size_t>(d)]) {
     auto& b = blocks_[static_cast<std::size_t>(id)];
-    std::fill(b.cur.begin(), b.cur.end(), 0.0);
-    std::fill(b.prev.begin(), b.prev.end(), 0.0);
+    for (auto& gen : b.gens) std::fill(gen.begin(), gen.end(), 0.0);
     b.valid = false;
   }
 }
@@ -71,14 +73,14 @@ void BackupStore::invalidate_node(NodeId d) {
 std::optional<BackupStore::Found> BackupStore::lookup(const Cluster& cluster,
                                                       NodeId owner, Index global,
                                                       int gen) const {
-  RPCG_CHECK(gen == 0 || gen == 1, "gen must be 0 (cur) or 1 (prev)");
+  RPCG_CHECK(gen >= 0 && gen < generations_, "generation out of range");
   for (const int id : by_src_[static_cast<std::size_t>(owner)]) {
     const auto& b = blocks_[static_cast<std::size_t>(id)];
     if (!b.valid || !cluster.is_alive(b.dst)) continue;
     const auto it = std::lower_bound(b.indices.begin(), b.indices.end(), global);
     if (it == b.indices.end() || *it != global) continue;
     const auto off = static_cast<std::size_t>(it - b.indices.begin());
-    return Found{b.dst, gen == 0 ? b.cur[off] : b.prev[off]};
+    return Found{b.dst, b.gens[static_cast<std::size_t>(gen)][off]};
   }
   return std::nullopt;
 }
@@ -87,26 +89,25 @@ BackupStore::Gathered BackupStore::gather_lost(Cluster& cluster,
                                                std::span<const Index> rows) const {
   RPCG_REQUIRE(partition_ != nullptr, "store not configured");
   Gathered out;
-  out.cur.resize(rows.size());
-  out.prev.resize(rows.size());
+  out.gens.assign(static_cast<std::size_t>(generations_),
+                  std::vector<double>(rows.size(), 0.0));
   // elements each holder sends to each replacement (for the cost model)
   std::map<std::pair<NodeId, NodeId>, Index> traffic;
   for (std::size_t k = 0; k < rows.size(); ++k) {
     const Index s = rows[k];
     const NodeId owner = partition_->owner(s);
-    const auto cur = lookup(cluster, owner, s, 0);
-    const auto prev = lookup(cluster, owner, s, 1);
-    if (!cur.has_value() || !prev.has_value()) {
-      throw UnrecoverableFailure(
-          "element " + std::to_string(s) +
-          " of failed node " + std::to_string(owner) +
-          " has no surviving copy (more failures than phi?)");
+    for (int g = 0; g < generations_; ++g) {
+      const auto found = lookup(cluster, owner, s, g);
+      if (!found.has_value()) {
+        throw UnrecoverableFailure(
+            "element " + std::to_string(s) +
+            " of failed node " + std::to_string(owner) +
+            " has no surviving copy (more failures than phi?)");
+      }
+      out.gens[static_cast<std::size_t>(g)][k] = found->value;
+      traffic[{found->holder, owner}] += 1;
+      ++out.elements_transferred;
     }
-    out.cur[k] = cur->value;
-    out.prev[k] = prev->value;
-    traffic[{cur->holder, owner}] += 1;
-    traffic[{prev->holder, owner}] += 1;
-    out.elements_transferred += 2;
   }
   // Serialized sends per holder; the round costs the slowest holder.
   std::vector<double> per_holder(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
@@ -118,34 +119,42 @@ BackupStore::Gathered BackupStore::gather_lost(Cluster& cluster,
 }
 
 void BackupStore::re_arm(Cluster& cluster, std::span<const NodeId> replacements,
-                         const DistVector& p, const DistVector& p_prev) {
+                         std::span<const DistVector* const> generation_vectors) {
   RPCG_REQUIRE(partition_ != nullptr, "store not configured");
+  RPCG_REQUIRE(static_cast<int>(generation_vectors.size()) == generations_,
+               "re-arm needs one vector per configured generation");
   std::vector<double> per_src(static_cast<std::size_t>(cluster.num_nodes()), 0.0);
   for (const NodeId d : replacements) {
     for (const int id : by_dst_[static_cast<std::size_t>(d)]) {
       auto& b = blocks_[static_cast<std::size_t>(id)];
       RPCG_REQUIRE(cluster.is_alive(b.src),
                    "re-arm requires the source to be alive or already recovered");
-      const auto pc = p.block(b.src);
-      const auto pp = p_prev.block(b.src);
       const Index base = partition_->begin(b.src);
-      for (std::size_t k = 0; k < b.indices.size(); ++k) {
-        const auto off = static_cast<std::size_t>(b.indices[k] - base);
-        b.cur[k] = pc[off];
-        b.prev[k] = pp[off];
+      for (int g = 0; g < generations_; ++g) {
+        const auto src = generation_vectors[static_cast<std::size_t>(g)]->block(b.src);
+        auto& gen = b.gens[static_cast<std::size_t>(g)];
+        for (std::size_t k = 0; k < b.indices.size(); ++k)
+          gen[k] = src[static_cast<std::size_t>(b.indices[k] - base)];
       }
       b.valid = true;
-      per_src[static_cast<std::size_t>(b.src)] +=
-          cluster.comm().message_cost(2 * static_cast<Index>(b.indices.size()));
+      per_src[static_cast<std::size_t>(b.src)] += cluster.comm().message_cost(
+          static_cast<Index>(generations_) * static_cast<Index>(b.indices.size()));
     }
   }
   cluster.charge_parallel_seconds(Phase::kRecovery, per_src);
 }
 
+void BackupStore::re_arm(Cluster& cluster, std::span<const NodeId> replacements,
+                         const DistVector& p, const DistVector& p_prev) {
+  const DistVector* gens[] = {&p, &p_prev};
+  re_arm(cluster, replacements, gens);
+}
+
 Index BackupStore::retained_elements_on(NodeId d) const {
   Index total = 0;
   for (const int id : by_dst_[static_cast<std::size_t>(d)])
-    total += 2 * static_cast<Index>(blocks_[static_cast<std::size_t>(id)].indices.size());
+    total += static_cast<Index>(generations_) *
+             static_cast<Index>(blocks_[static_cast<std::size_t>(id)].indices.size());
   return total;
 }
 

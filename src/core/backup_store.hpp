@@ -1,10 +1,12 @@
 // The retained redundant data: what every node keeps, beyond its own block,
-// of the two most recent search directions p^(j) and p^(j-1) — the SpMV halo
-// it receives anyway (retention rule) plus the designated extra sets Rc_ik.
-// A node failure destroys the store entries *on* the failed node; the
-// reconstruction gathers lost elements from surviving holders through a
-// tailored plan (the deterministic alternative to PETSc's reverse scatter
-// discussed in Sec. 6 of the paper).
+// of the most recent generations of a search direction — the SpMV halo it
+// receives anyway (retention rule) plus the designated extra sets Rc_ik.
+// The paper's scheme retains two generations (p^(j) and p^(j-1)); the depth-l
+// pipelined engine configures l+1 generations of u so the deeper recurrence
+// window stays reconstructible. A node failure destroys the store entries
+// *on* the failed node; the reconstruction gathers lost elements from
+// surviving holders through a tailored plan (the deterministic alternative to
+// PETSc's reverse scatter discussed in Sec. 6 of the paper).
 #pragma once
 
 #include <optional>
@@ -31,21 +33,25 @@ class BackupStore {
 
   /// Lays out the retained blocks: one per ordered node pair (src, dst) with
   /// traffic, holding the union of S_{src,dst} and the extra sets Rc
-  /// targeted at dst. Values start at zero (p^(-1) = 0, consistent with the
-  /// j = 0 reconstruction where beta^(-1) = 0).
+  /// targeted at dst, carrying `generations` rotating copies. Values start
+  /// at zero (p^(-1) = 0, consistent with the j = 0 reconstruction where
+  /// beta^(-1) = 0). The paper's scheme is generations = 2.
   void configure(const ScatterPlan& plan, const RedundancyScheme& scheme,
-                 const Partition& partition);
+                 const Partition& partition, int generations = 2);
+
+  [[nodiscard]] int generations() const { return generations_; }
 
   /// Called once per SpMV, after the halo exchange of p^(j): rotates the
-  /// generations (cur -> prev) and records the freshly sent values.
+  /// generations (gen g -> g+1, oldest dropped) and records the freshly sent
+  /// values as generation 0.
   void record(const DistVector& p);
 
   /// A node failure destroys everything retained on node d.
   void invalidate_node(NodeId d);
 
   /// Looks up a surviving copy of element `global` (owned by `owner`) in
-  /// generation gen (0 = p^(j), 1 = p^(j-1)). Returns the holder and value,
-  /// or nullopt if no alive holder has it.
+  /// generation `gen` (0 = newest, generations()-1 = oldest). Returns the
+  /// holder and value, or nullopt if no alive holder has it.
   struct Found {
     NodeId holder;
     double value;
@@ -53,27 +59,32 @@ class BackupStore {
   [[nodiscard]] std::optional<Found> lookup(const Cluster& cluster, NodeId owner,
                                             Index global, int gen) const;
 
-  /// Gathers both generations of all lost elements (`rows`, sorted, owned by
+  /// Gathers every generation of all lost elements (`rows`, sorted, owned by
   /// failed nodes). Charges the gather communication cost to
   /// Phase::kRecovery. Throws UnrecoverableFailure when an element has no
   /// surviving copy.
   struct Gathered {
-    std::vector<double> cur;   // p^(j) values, aligned with rows
-    std::vector<double> prev;  // p^(j-1) values
+    /// gens[g] holds generation g's values, aligned with rows (g = 0 newest).
+    std::vector<std::vector<double>> gens;
     Index elements_transferred = 0;
   };
   [[nodiscard]] Gathered gather_lost(Cluster& cluster,
                                      std::span<const Index> rows) const;
 
   /// Restores the store entries hosted on replacement nodes from the
-  /// (recovered) p and p_prev vectors, so the full phi + 1 redundancy holds
-  /// immediately after reconstruction instead of two iterations later.
-  /// Charges the re-send cost to Phase::kRecovery.
+  /// (recovered) generation vectors (newest first, one per configured
+  /// generation), so the full phi + 1 redundancy holds immediately after
+  /// reconstruction instead of `generations` iterations later. Charges the
+  /// re-send cost to Phase::kRecovery.
+  void re_arm(Cluster& cluster, std::span<const NodeId> replacements,
+              std::span<const DistVector* const> generation_vectors);
+
+  /// Two-generation convenience overload (the paper's p / p_prev pair).
   void re_arm(Cluster& cluster, std::span<const NodeId> replacements,
               const DistVector& p, const DistVector& p_prev);
 
   /// Memory the store occupies on node d, in vector elements (for the
-  /// paper's ~2n/N-per-copy overhead statement).
+  /// paper's ~2n/N-per-copy overhead statement; generations * n/N here).
   [[nodiscard]] Index retained_elements_on(NodeId d) const;
 
  private:
@@ -81,12 +92,12 @@ class BackupStore {
     NodeId src = -1;
     NodeId dst = -1;
     std::vector<Index> indices;  // sorted global indices
-    std::vector<double> cur;
-    std::vector<double> prev;
+    std::vector<std::vector<double>> gens;  // gens[0] newest
     bool valid = true;  // false after dst failed, until re-armed
   };
 
   const Partition* partition_ = nullptr;
+  int generations_ = 2;
   std::vector<RetainedBlock> blocks_;
   std::vector<std::vector<int>> by_src_;  // block ids per source node
   std::vector<std::vector<int>> by_dst_;  // block ids per destination node

@@ -174,7 +174,7 @@ RecoveryStats EsrReconstructor::recover(Cluster& cluster,
   // z_{IF} = p^(j)_{IF} - beta^(j-1) p^(j-1)_{IF}   (Alg. 2, line 4).
   std::vector<double> z_f(rows.size());
   for (std::size_t k = 0; k < rows.size(); ++k)
-    z_f[k] = got.cur[k] - beta_prev * got.prev[k];
+    z_f[k] = got.gens[0][k] - beta_prev * got.gens[1][k];
   cluster.charge(Phase::kRecovery, cluster.comm().compute_cost(
                                        2.0 * static_cast<double>(rows.size())));
 
@@ -201,8 +201,8 @@ RecoveryStats EsrReconstructor::recover(Cluster& cluster,
     x.restore_block(f, slice(x_f));
     r.restore_block(f, slice(r_f));
     z.restore_block(f, slice(z_f));
-    p.restore_block(f, slice(got.cur));
-    p_prev.restore_block(f, slice(got.prev));
+    p.restore_block(f, slice(got.gens[0]));
+    p_prev.restore_block(f, slice(got.gens[1]));
     pos += bsize;
   }
 

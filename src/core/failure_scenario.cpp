@@ -1,6 +1,7 @@
 #include "core/failure_scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -131,6 +132,26 @@ void gen_during_recovery(Rng& rng, const FailureScenarioConfig& cfg,
   }
 }
 
+/// `count` independent failures at iterations spaced by Exp(cfg.rate)
+/// inter-arrival gaps, each rounded up to land on a whole iteration at
+/// least one past its predecessor (two arrivals inside one iteration merge
+/// into the later one's slot by the +1 floor — the discrete-time reading of
+/// a memoryless process).
+void gen_exponential(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
+                     int count, FailureSchedule& out) {
+  double t = 0.0;
+  int prev = 0;
+  for (int k = 0; k < count; ++k) {
+    t += rng.exponential(cfg.rate);
+    const int j = std::max(prev + 1, static_cast<int>(std::ceil(t)));
+    FailureEvent ev;
+    ev.iteration = j;
+    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+    out.add(std::move(ev));
+    prev = j;
+  }
+}
+
 void validate(const FailureScenarioConfig& cfg, int num_nodes) {
   if (num_nodes < 2) bad("need at least 2 nodes");
   if (cfg.events < 1) bad("events must be >= 1");
@@ -139,6 +160,9 @@ void validate(const FailureScenarioConfig& cfg, int num_nodes) {
   if (cfg.max_nodes_per_event < 1) bad("max_nodes_per_event must be >= 1");
   if (cfg.forbid_pair_shift < 0 || cfg.forbid_pair_shift >= num_nodes)
     bad("forbid_pair_shift must be in [0, num_nodes)");
+  if (cfg.kind == ScenarioKind::kExponential &&
+      !(cfg.rate > 0.0 && std::isfinite(cfg.rate)))
+    bad("exponential needs a finite rate > 0");
   // Every episode needs at least one survivor to detect the failure and to
   // hold redundant state; during-recovery chains accumulate the whole
   // episode before anything is recovered.
@@ -176,6 +200,9 @@ FailureSchedule generate_scenario(const FailureScenarioConfig& cfg,
     case ScenarioKind::kDuringRecovery:
       gen_during_recovery(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon,
                           out);
+      break;
+    case ScenarioKind::kExponential:
+      gen_exponential(rng, cfg, num_nodes, cfg.events, out);
       break;
     case ScenarioKind::kMixed: {
       // One episode of each class in disjoint thirds of [1, horizon], so no

@@ -15,6 +15,9 @@
 //                    path of Sec. 4.1, as a whole chain)
 //   mixed            one episode of each of the above, in disjoint
 //                    iteration ranges
+//   exponential      a memoryless failure process: inter-arrival gaps drawn
+//                    from Exp(rate) failures/iteration — the classic MTBF
+//                    model resilience papers size their overhead against
 //
 // Generation is bit-deterministic in (config, num_nodes): the same seed
 // yields the same schedule on every platform (util/rng.hpp), which is what
@@ -38,17 +41,19 @@ enum class ScenarioKind {
   kCascading,       ///< independent failures bursting within a window
   kDuringRecovery,  ///< overlapping-failure chain at one iteration
   kMixed,           ///< one episode of each, in disjoint ranges
+  kExponential,     ///< Exp(rate) inter-arrival gaps (memoryless MTBF)
 };
 
 template <>
 struct EnumNames<ScenarioKind> {
   static constexpr const char* context = "scenario kind";
-  static constexpr std::array<std::pair<ScenarioKind, const char*>, 5> table{
+  static constexpr std::array<std::pair<ScenarioKind, const char*>, 6> table{
       {{ScenarioKind::kNone, "none"},
        {ScenarioKind::kCorrelated, "correlated"},
        {ScenarioKind::kCascading, "cascading"},
        {ScenarioKind::kDuringRecovery, "during-recovery"},
-       {ScenarioKind::kMixed, "mixed"}}};
+       {ScenarioKind::kMixed, "mixed"},
+       {ScenarioKind::kExponential, "exponential"}}};
 };
 
 [[nodiscard]] std::string to_string(ScenarioKind k);
@@ -71,6 +76,11 @@ struct FailureScenarioConfig {
   /// (i + shift) mod num_nodes — the constraint under which twin-pcg's
   /// buddy redundancy (shift = num_nodes / 2) stays recoverable.
   int forbid_pair_shift = 0;
+  /// kExponential only: expected failures per iteration (> 0). Inter-arrival
+  /// gaps are Exp(rate) deviates, cumulated and rounded up to the next whole
+  /// iteration; `events` arrivals are generated (the horizon does not clip
+  /// them — a rate sweep keeps its event count).
+  double rate = 0.05;
 };
 
 /// Generates the schedule for the configured scenario. Deterministic in

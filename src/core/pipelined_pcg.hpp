@@ -1,27 +1,42 @@
-// Communication-hiding (pipelined) PCG and its ESR-resilient variant —
-// Ghysels & Vanroose's pipelined recurrences on top of the split-phase
-// collectives of sim/collectives.hpp, extended to multi-node failures per
-// Levonyak et al. (arXiv:1912.09230).
+// Communication-hiding (pipelined) Krylov engines and their ESR-resilient
+// variants — Ghysels & Vanroose's pipelined recurrences on top of the
+// split-phase collectives of sim/collectives.hpp, extended to multi-node
+// failures and to depth-l pipelining per Levonyak et al. (arXiv:1912.09230).
 //
-// Per iteration, one fused 3-scalar reduction (gamma = r^T u, delta = w^T u,
-// ||r||^2) is *posted*, then the preconditioner application m = M^{-1} w and
-// the SpMV n = A m execute while it is in flight; wait() charges only the
-// non-overlapped remainder of the reduction latency. The recurrences
+// Depth 1 (the classic pipelined iteration): one fused 3-scalar reduction
+// (gamma, delta, ||r||^2) is *posted*, then the preconditioner application
+// m = M^{-1} w and the SpMV n = A m execute while it is in flight; wait()
+// charges only the non-overlapped remainder of the latency. The recurrences
 //
 //   z = n + beta z    q = m + beta q    s = w + beta s    p = u + beta p
 //   x += alpha p      r -= alpha s      u -= alpha q      w -= alpha z
 //
-// keep u = M^{-1} r and w = A u without further synchronization.
+// keep u = M^{-1} r and w = A u without further synchronization. The same
+// engine serves pipelined CG (gamma = r^T u, delta = w^T u) and pipelined CR
+// (gamma = u^T w, delta = w^T m) — the scalar and vector recurrences are
+// identical, only the fused inner products differ.
+//
+// Depth l >= 2: every iteration posts ONE fused reduction carrying the packed
+// Gram matrix of the basis described in solver/pipelined_kernel.hpp, and
+// waits the reduction posted l-1 iterations earlier — so l reductions are in
+// flight at once and each has ~l-1 full iterations of work to hide behind.
+// The scalars of the current iteration are *predicted* from the older Gram
+// matrix by replaying the intervening recurrences in coefficient space
+// (predict_pipelined_scalars). The first l-1 iterations of the ring — and the
+// first l-1 after every recovery, which flushes the in-flight ring — wait
+// their own reduction immediately (honestly fully exposed warmup).
 //
 // Resilience (phi >= 1) reuses the paper's ESR machinery end to end: the
-// node backup set grows from {p^(j), p^(j-1)} to also hold the two most
-// recent generations of u (the preconditioned residual, the extra recurrence
-// vector that seeds reconstruction), piggybacked on the per-iteration halo
-// exchange like the p copies. On failure, x and r are reconstructed exactly
-// as in Alg. 2 (r through the preconditioner from the backed-up u, x via the
-// A_{IF,IF} local solve, FactorizationCache-served), and the remaining
-// recurrence vectors are rebuilt on the replacement nodes from their
-// defining relations: s = A p, q = M^{-1} s, z = A q, w = A u.
+// node backup set grows from {p^(j), p^(j-1)} to also hold the depth+1 most
+// recent generations of u (the preconditioned residual seeds reconstruction,
+// and the deeper pipeline widens the window that must stay reconstructible),
+// piggybacked on the per-iteration halo exchange like the p copies. On
+// failure, x and r are reconstructed exactly as in Alg. 2 (r through the
+// preconditioner from the backed-up u, x via the A_{IF,IF} local solve,
+// FactorizationCache-served), and the remaining recurrence vectors are
+// rebuilt on the replacement nodes from their defining relations:
+// s = A p, q = M^{-1} s, z = A q, w = A u, plus the chain ladders
+// m_i = (M^{-1} A)^i u and zeta_i = (M^{-1} A)^i q at depth >= 2.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +51,7 @@
 #include "sim/cluster.hpp"
 #include "sim/dist_matrix.hpp"
 #include "sim/dist_vector.hpp"
+#include "solver/pipelined_kernel.hpp"
 #include "util/maybe_owned.hpp"
 
 namespace rpcg {
@@ -49,12 +65,19 @@ struct PipelinedPcgOptions {
   EsrOptions esr;
   std::uint64_t strategy_seed = 0;
   SolverEvents events;
+  /// Pipeline depth l: reductions in flight (1..kMaxPipelineDepth). Depth 1
+  /// is the classic Ghysels–Vanroose iteration; deeper rings trade an
+  /// l+1-generation u backup charge for l-1 extra iterations of hiding.
+  int depth = 1;
+  /// Pipelined CG (this paper + PR 4) or pipelined CR (arXiv:1912.09230).
+  PipelinedMethod method = PipelinedMethod::kConjugateGradient;
 };
 
 /// The pipelined engine. With phi = 0 it runs the plain communication-hiding
-/// iteration (the "pipelined-pcg" registry solver); with phi >= 1 it is the
-/// resilient variant ("pipelined-resilient-pcg"). Both share this one code
-/// path, so phi = 0 resilient runs are byte-identical to the plain solver.
+/// iteration (the "pipelined-pcg" / "pipelined-cr" registry solvers); with
+/// phi >= 1 it is the resilient variant ("pipelined-resilient-pcg" /
+/// "pipelined-resilient-cr"). Each method shares one code path across phi,
+/// so phi = 0 resilient runs are byte-identical to the plain solver.
 class PipelinedPcg {
  public:
   /// Same ownership contract as ResilientPcg: `a_global` is the reliable
@@ -76,7 +99,9 @@ class PipelinedPcg {
   [[nodiscard]] const PipelinedPcgOptions& options() const { return opts_; }
 
   /// Failure-free per-iteration cost of distributing the redundant copies of
-  /// both backed-up vectors (p and u generations).
+  /// both backed-up vectors: 2 generations of p plus depth+1 generations of
+  /// u ride the halo exchange, so the Sec. 4.2 round-based overhead is
+  /// charged (1 + depth) times.
   [[nodiscard]] double redundancy_overhead_per_iteration() const {
     return redundancy_step_cost_;
   }
@@ -86,26 +111,44 @@ class PipelinedPcg {
                MaybeOwned<DistMatrix> a, const Preconditioner& m,
                PipelinedPcgOptions opts);
 
-  struct LoopState;  // the recurrence vectors + replicated scalars
+  struct LoopState;  // depth-1 recurrence vectors + replicated scalars
+  struct DeepState;  // depth-l basis vectors + u-generation ring
 
   void inject_failures(const std::vector<NodeId>& nodes, DistVector& x,
-                       LoopState& st);
+                       std::vector<DistVector*> state);
 
-  /// ESR recovery of the full pipelined state after the merged failure set
-  /// `failed`: exact reconstruction of x/r/u/p (+ previous generations) from
-  /// the backups, relation-based rebuild of s/q/z/w, full recompute of the
-  /// in-flight m/n. Returns Alg. 2 stats.
+  /// ESR recovery of the depth-1 pipelined state after the merged failure
+  /// set `failed`: exact reconstruction of x/r/u/p (+ previous generations)
+  /// from the backups, relation-based rebuild of s/q/z/w, full recompute of
+  /// the in-flight m/n. Returns Alg. 2 stats.
   RecoveryStats recover(std::span<const NodeId> failed, const DistVector& b,
                         DistVector& x, LoopState& st);
+
+  /// Depth-l counterpart: additionally restores every u generation and
+  /// ladder-rebuilds the chain vectors of the prediction basis.
+  RecoveryStats recover_deep(std::span<const NodeId> failed,
+                             const DistVector& b, DistVector& x,
+                             DeepState& st);
+
+  /// Depth-1 path (classic one-reduction-in-flight pipelining; the CG branch
+  /// is the historic PR 4 loop, bit-for-bit).
+  ResilientPcgResult solve_depth1(const DistVector& b, DistVector& x,
+                                  const FailureSchedule& schedule);
+
+  /// Depth >= 2 path: Gram-basis reduction ring with coefficient-space
+  /// scalar prediction.
+  ResilientPcgResult solve_deep(const DistVector& b, DistVector& x,
+                                const FailureSchedule& schedule);
 
   Cluster& cluster_;
   const CsrMatrix* a_global_;
   const Preconditioner* m_;
   PipelinedPcgOptions opts_;
   MaybeOwned<DistMatrix> a_;
+  PipelinedBasisLayout layout_;
   RedundancyScheme scheme_;
   BackupStore store_p_;  // p^(j), p^(j-1) — the paper's backup set
-  BackupStore store_u_;  // u^(j), u^(j-1) — the pipelined extension
+  BackupStore store_u_;  // u^(j) .. u^(j-depth) — the pipelined extension
   double redundancy_step_cost_ = 0.0;
 };
 

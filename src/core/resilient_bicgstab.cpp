@@ -112,13 +112,13 @@ void ResilientBicgstab::recover(const std::vector<NodeId>& failed, double alpha,
   // p_IF = M p̂_IF and s_IF = M ŝ_IF through the preconditioner (the same
   // residual-recovery relation as Alg. 2: given M⁻¹y's block, produce y's).
   std::vector<double> p_f(rows.size()), s_f(rows.size());
-  m_->esr_recover_residual(cluster_, rows, got_phat.cur, p, phat, p_f);
-  m_->esr_recover_residual(cluster_, rows, got_shat.cur, s, shat, s_f);
+  m_->esr_recover_residual(cluster_, rows, got_phat.gens[0], p, phat, p_f);
+  m_->esr_recover_residual(cluster_, rows, got_shat.gens[0], s, shat, s_f);
 
   // v_IF = (A p̂)_IF and t_IF = (A ŝ)_IF recomputed from the lost rows of A.
   std::vector<double> v_f(rows.size()), t_f(rows.size());
-  recompute_lost_rows(rows, phat, got_phat.cur, v_f);
-  recompute_lost_rows(rows, shat, got_shat.cur, t_f);
+  recompute_lost_rows(rows, phat, got_phat.gens[0], v_f);
+  recompute_lost_rows(rows, shat, got_shat.gens[0], t_f);
 
   // r_IF = s_IF + alpha v_IF (from s = r - alpha v; alpha is replicated).
   std::vector<double> r_f(rows.size());
@@ -148,8 +148,8 @@ void ResilientBicgstab::recover(const std::vector<NodeId>& failed, double alpha,
     v.restore_block(f, slice(v_f));
     s.restore_block(f, slice(s_f));
     t.restore_block(f, slice(t_f));
-    phat.restore_block(f, slice(got_phat.cur));
-    shat.restore_block(f, slice(got_shat.cur));
+    phat.restore_block(f, slice(got_phat.gens[0]));
+    shat.restore_block(f, slice(got_shat.gens[0]));
     // r̂0 comes from reliable storage (cost charged with the static fetch).
     r0.restore_block(f, r0_pristine.block(f));
     pos += bsize;

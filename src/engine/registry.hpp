@@ -10,8 +10,9 @@
 // (deterministic, immune to static-library dead stripping):
 //
 //   solvers:          "pcg", "resilient-pcg", "pipelined-pcg",
-//                     "pipelined-resilient-pcg", "resilient-bicgstab",
-//                     "stationary"
+//                     "pipelined-resilient-pcg", "pipelined-cr",
+//                     "pipelined-resilient-cr", "resilient-bicgstab",
+//                     "checkpoint-recovery", "twin-pcg", "stationary"
 //   preconditioners:  "none", "jacobi", "bjacobi", "ssor", "ic0-split"
 //                     (aliases: "identity" -> none, "ic0" -> ic0-split)
 //

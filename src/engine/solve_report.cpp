@@ -43,7 +43,9 @@ std::string SolveReport::to_json(int indent) const {
     w.field("posted", fmt(reductions.posted_s));
     w.field("hidden", fmt(reductions.hidden_s));
     w.field("exposed", fmt(reductions.exposed_s));
-    w.field("count", std::to_string(reductions.count), false);
+    w.field("count", std::to_string(reductions.count));
+    w.field("depth", std::to_string(reduction_depth));
+    w.field("max_in_flight", std::to_string(reductions.max_in_flight), false);
     w.close("}", true);
   }
   if (report_cache_stats) {

@@ -57,6 +57,10 @@ struct SolveReport {
   /// pre-existing solvers stays byte-identical.
   ReductionTimes reductions;
   bool report_reductions = false;
+  /// Pipeline depth of the solve (1 = classic Ghysels–Vanroose pipelining);
+  /// serialized inside the reduction_time block next to its companion
+  /// `reductions.max_in_flight` observation.
+  int reduction_depth = 1;
 
   /// Snapshot of the Problem's FactorizationCache at the end of the solve
   /// (the cache is problem-lifetime, so counters accumulate across solves of

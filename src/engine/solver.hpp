@@ -71,6 +71,12 @@ struct SolverConfig {
   StationaryMethod stationary_method = StationaryMethod::kJacobi;
   double omega = 1.0;
 
+  /// Pipelined families only: reductions in flight (1..kMaxPipelineDepth).
+  /// Depth 1 is the classic Ghysels–Vanroose one-reduction pipeline; deeper
+  /// rings hide each reduction behind depth-1 full iterations of work at an
+  /// (1 + depth)x redundancy charge in the resilient variants.
+  int pipeline_depth = 1;
+
   /// Host-side execution policy for the minted cluster's per-node loops
   /// ("sequential" | "threaded"; workers = 0 means hardware concurrency).
   /// Layered over the Problem's default: mode overrides when "threaded",
@@ -99,8 +105,9 @@ struct SolverConfig {
   /// --checkpoint-medium, --checkpoint-write-cost, --checkpoint-read-cost,
   /// --checkpoint-latency, --report-checkpoint, --scenario,
   /// --scenario-seed, --scenario-events, --scenario-nodes,
-  /// --scenario-horizon, --scenario-window, --report-scenario,
-  /// --stationary-method, --omega, --exec, --workers,
+  /// --scenario-horizon, --scenario-window, --scenario-rate,
+  /// --report-scenario,
+  /// --stationary-method, --omega, --pipeline-depth, --exec, --workers,
   /// --factorization-cache, --report-cache-stats. Unknown enum names throw
   /// std::invalid_argument listing the valid keys.
   [[nodiscard]] static SolverConfig from_options(const Options& o);

@@ -158,26 +158,33 @@ class ResilientPcgSolver final : public Solver {
   SolverConfig config_;
 };
 
-/// Communication-hiding PCG (core/pipelined_pcg.hpp). One engine serves
-/// both registry keys: "pipelined-pcg" pins phi = 0 and rejects failure
-/// schedules; "pipelined-resilient-pcg" wires in the ESR configuration.
-/// Both opt into the reduction_time block of the report JSON — overlap
-/// accounting is the point of the pipelined family.
+/// Communication-hiding Krylov methods (core/pipelined_pcg.hpp). One engine
+/// serves four registry keys — {CG, CR} x {plain, resilient}: the plain keys
+/// ("pipelined-pcg", "pipelined-cr") pin phi = 0 and reject failure
+/// schedules; the resilient ones wire in the ESR configuration. All opt into
+/// the reduction_time block of the report JSON — overlap accounting is the
+/// point of the pipelined family — and honor config.pipeline_depth.
 class PipelinedSolver final : public Solver {
  public:
-  PipelinedSolver(const SolverConfig& config, bool resilient)
-      : config_(config), resilient_(resilient) {}
+  PipelinedSolver(const SolverConfig& config, PipelinedMethod method,
+                  bool resilient)
+      : config_(config), method_(method), resilient_(resilient) {}
 
   [[nodiscard]] std::string name() const override {
-    return resilient_ ? "pipelined-resilient-pcg" : "pipelined-pcg";
+    if (method_ == PipelinedMethod::kConjugateGradient)
+      return resilient_ ? "pipelined-resilient-pcg" : "pipelined-pcg";
+    return resilient_ ? "pipelined-resilient-cr" : "pipelined-cr";
   }
 
   [[nodiscard]] SolveReport solve(Problem& problem, DistVector& x,
                                   const FailureSchedule& schedule) override {
     if (!resilient_) {
       RPCG_CHECK(schedule.empty(),
-                 "'pipelined-pcg' tolerates no failures; use "
-                 "'pipelined-resilient-pcg'");
+                 "'" + name() + "' tolerates no failures; use "
+                 "'pipelined-resilient-" +
+                     (method_ == PipelinedMethod::kConjugateGradient ? "pcg"
+                                                                     : "cr") +
+                     "'");
     }
     Cluster cluster = make_cluster(problem, config_);
     const FailureSchedule sched =
@@ -186,6 +193,8 @@ class PipelinedSolver final : public Solver {
     PipelinedPcgOptions opts;
     opts.pcg.rtol = config_.rtol;
     opts.pcg.max_iterations = config_.max_iterations;
+    opts.method = method_;
+    opts.depth = config_.pipeline_depth;
     if (resilient_) {
       opts.phi = config_.phi;
       opts.strategy = config_.strategy;
@@ -202,6 +211,7 @@ class PipelinedSolver final : public Solver {
         engine.redundancy_overhead_per_iteration();
     rep.reductions = cluster.reduction_times();
     rep.report_reductions = true;
+    rep.reduction_depth = config_.pipeline_depth;
     attach_cache_stats(rep, problem, config_);
     if (resilient_) attach_scenario(rep, config_, sched);
     return rep;
@@ -209,6 +219,7 @@ class PipelinedSolver final : public Solver {
 
  private:
   SolverConfig config_;
+  PipelinedMethod method_;
   bool resilient_;
 };
 
@@ -400,10 +411,13 @@ SolverConfig SolverConfig::from_options(const Options& o) {
       static_cast<int>(o.get_int("scenario-horizon", c.scenario.horizon));
   c.scenario.window =
       static_cast<int>(o.get_int("scenario-window", c.scenario.window));
+  c.scenario.rate = o.get_double("scenario-rate", c.scenario.rate);
   c.report_scenario = o.get_bool("report-scenario", c.report_scenario);
   c.stationary_method =
       o.get_enum<StationaryMethod>("stationary-method", c.stationary_method);
   c.omega = o.get_double("omega", c.omega);
+  c.pipeline_depth =
+      static_cast<int>(o.get_int("pipeline-depth", c.pipeline_depth));
   c.exec.mode = o.get_enum<ExecMode>("exec", c.exec.mode);
   c.exec.workers = static_cast<int>(o.get_int("workers", c.exec.workers));
   c.factorization_cache =
@@ -420,10 +434,20 @@ void register_builtin_solvers(SolverRegistry& registry) {
     return std::make_unique<ResilientPcgSolver>(c);
   });
   registry.register_solver("pipelined-pcg", [](const SolverConfig& c) {
-    return std::make_unique<PipelinedSolver>(c, /*resilient=*/false);
+    return std::make_unique<PipelinedSolver>(
+        c, PipelinedMethod::kConjugateGradient, /*resilient=*/false);
   });
   registry.register_solver("pipelined-resilient-pcg", [](const SolverConfig& c) {
-    return std::make_unique<PipelinedSolver>(c, /*resilient=*/true);
+    return std::make_unique<PipelinedSolver>(
+        c, PipelinedMethod::kConjugateGradient, /*resilient=*/true);
+  });
+  registry.register_solver("pipelined-cr", [](const SolverConfig& c) {
+    return std::make_unique<PipelinedSolver>(
+        c, PipelinedMethod::kConjugateResidual, /*resilient=*/false);
+  });
+  registry.register_solver("pipelined-resilient-cr", [](const SolverConfig& c) {
+    return std::make_unique<PipelinedSolver>(
+        c, PipelinedMethod::kConjugateResidual, /*resilient=*/true);
   });
   registry.register_solver("resilient-bicgstab", [](const SolverConfig& c) {
     return std::make_unique<BicgstabSolver>(c);

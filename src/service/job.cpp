@@ -27,7 +27,7 @@ constexpr const char* kConfigKeys[] = {
     "checkpoint-read-cost", "checkpoint-latency", "report-checkpoint",
     "scenario",       "scenario-seed",   "scenario-events",
     "scenario-nodes", "scenario-horizon", "scenario-window",
-    "report-scenario",
+    "scenario-rate",  "report-scenario", "pipeline-depth",
 };
 
 // Keys the job parser consumes directly.

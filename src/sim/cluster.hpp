@@ -6,6 +6,7 @@
 // log-normal noise to emulate machine jitter for box-plot statistics.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -39,6 +40,10 @@ struct ReductionTimes {
   double hidden_s = 0.0;   ///< overlapped by work between post and wait
   double exposed_s = 0.0;  ///< charged to the clock at wait()
   int count = 0;           ///< reductions posted
+  /// Peak number of reductions simultaneously in flight (posted, not yet
+  /// waited). 1 for every blocking solver and the depth-1 pipelined engine;
+  /// l for a depth-l reduction ring.
+  int max_in_flight = 0;
 };
 
 class SimClock {
@@ -155,12 +160,23 @@ class Cluster {
     return reductions_;
   }
 
+  /// In-flight reduction tracking, driven by post_allreduce / wait() for
+  /// reductions posted with a running clock (diagnostic reductions under a
+  /// paused clock are invisible here too).
+  void note_reduction_posted() {
+    ++reductions_in_flight_;
+    reductions_.max_in_flight =
+        std::max(reductions_.max_in_flight, reductions_in_flight_);
+  }
+  void note_reduction_completed() { --reductions_in_flight_; }
+
  private:
   Partition partition_;
   CommModel comm_;
   SimClock clock_;
   ExecutionPolicy exec_;
   ReductionTimes reductions_;
+  int reductions_in_flight_ = 0;
   std::vector<bool> alive_;
   int alive_count_ = 0;
 };

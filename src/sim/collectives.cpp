@@ -31,6 +31,7 @@ void PendingReduction::wait() {
   const double elapsed = cluster.clock().total() - posted_at_;
   const double exposed = std::max(0.0, cost_ - elapsed);
   cluster.clock().advance(phase_, exposed);
+  if (counted_) cluster.note_reduction_completed();
   // Diagnostic reductions under a paused clock charge nothing and must not
   // distort the overlap totals either.
   if (!cluster.clock().paused())
@@ -57,8 +58,15 @@ PendingReduction post_allreduce(Cluster& cluster,
   red.phase_ = phase;
   red.posted_at_ = cluster.clock().total();
   red.cost_ = cluster.comm().allreduce_cost(cluster.alive_count(), scalars);
+  // Diagnostic reductions under a paused clock stay out of the in-flight
+  // counter, matching the account_reduction exclusion at wait().
+  if (!cluster.clock().paused()) {
+    red.counted_ = true;
+    cluster.note_reduction_posted();
+  }
   // The reduced values are fixed at post time, summed in node order per
   // scalar — deterministic, and independent of when wait() runs.
+  red.values_.assign(static_cast<std::size_t>(scalars), 0.0);
   for (int i = 0; i < cluster.num_nodes(); ++i)
     for (int s = 0; s < scalars; ++s)
       red.values_[static_cast<std::size_t>(s)] +=
@@ -133,6 +141,63 @@ PendingReduction ipipelined_dots(Cluster& cluster, const DistVector& r,
                     });
   charge_blas1(cluster, 6.0, phase);
   return post_allreduce(cluster, partial, 3, phase);
+}
+
+PendingReduction ipipelined_cr_dots(Cluster& cluster, const DistVector& r,
+                                    const DistVector& u, const DistVector& w,
+                                    const DistVector& m, Phase phase) {
+  const int nn = cluster.num_nodes();
+  std::vector<double> partial(static_cast<std::size_t>(nn) * 3, 0.0);
+  exec_parallel_for(cluster.execution_policy(), static_cast<std::size_t>(nn),
+                    [&](std::size_t i) {
+                      const auto rb = r.block(static_cast<NodeId>(i));
+                      const auto ub = u.block(static_cast<NodeId>(i));
+                      const auto wb = w.block(static_cast<NodeId>(i));
+                      const auto mb = m.block(static_cast<NodeId>(i));
+                      double uw = 0.0, wm = 0.0, rr = 0.0;
+                      for (std::size_t k = 0; k < rb.size(); ++k) {
+                        uw += ub[k] * wb[k];
+                        wm += wb[k] * mb[k];
+                        rr += rb[k] * rb[k];
+                      }
+                      partial[i * 3] = uw;
+                      partial[i * 3 + 1] = wm;
+                      partial[i * 3 + 2] = rr;
+                    });
+  charge_blas1(cluster, 6.0, phase);
+  return post_allreduce(cluster, partial, 3, phase);
+}
+
+PendingReduction ipipelined_gram(Cluster& cluster,
+                                 std::span<const DistVector* const> basis,
+                                 Phase phase) {
+  const int nb = static_cast<int>(basis.size());
+  const int entries = nb * (nb + 1) / 2;
+  RPCG_CHECK(nb >= 1 && entries <= PendingReduction::kMaxScalars,
+             "pipelined basis too large for one fused reduction");
+  const int nn = cluster.num_nodes();
+  std::vector<double> partial(
+      static_cast<std::size_t>(nn) * static_cast<std::size_t>(entries), 0.0);
+  exec_parallel_for(
+      cluster.execution_policy(), static_cast<std::size_t>(nn),
+      [&](std::size_t node) {
+        double* out = &partial[node * static_cast<std::size_t>(entries)];
+        for (int i = 0; i < nb; ++i) {
+          const auto bi = basis[static_cast<std::size_t>(i)]->block(
+              static_cast<NodeId>(node));
+          for (int j = i; j < nb; ++j) {
+            const auto bj = basis[static_cast<std::size_t>(j)]->block(
+                static_cast<NodeId>(node));
+            double s = 0.0;
+            for (std::size_t k = 0; k < bi.size(); ++k) s += bi[k] * bj[k];
+            out[gram_index(i, j, nb)] = s;
+          }
+        }
+      });
+  // Every element feeds nb*(nb+1)/2 multiply-adds — the all-pairs Gram is
+  // the compute price of posting l iterations of dots at once.
+  charge_blas1(cluster, static_cast<double>(nb * (nb + 1)), phase);
+  return post_allreduce(cluster, partial, entries, phase);
 }
 
 double allreduce_sum(Cluster& cluster, std::span<const double> per_node,

@@ -19,8 +19,8 @@
 // Per-cluster totals land in Cluster::reduction_times().
 #pragma once
 
-#include <array>
 #include <span>
+#include <vector>
 
 #include "sim/cluster.hpp"
 #include "sim/dist_vector.hpp"
@@ -33,7 +33,10 @@ namespace rpcg {
 /// returns cannot silently drop a posted charge).
 class PendingReduction {
  public:
-  static constexpr int kMaxScalars = 4;
+  /// Wide enough for the packed Gram matrix of the deepest pipelined basis
+  /// (nb = 20 at depth 4 -> 210 scalars) with headroom; the classic fused
+  /// reductions use 1-3.
+  static constexpr int kMaxScalars = 256;
 
   PendingReduction() = default;
   PendingReduction(PendingReduction&& other) noexcept { steal(other); }
@@ -69,20 +72,22 @@ class PendingReduction {
 
   void steal(PendingReduction& other) {
     cluster_ = other.cluster_;
-    values_ = other.values_;
+    values_ = std::move(other.values_);
     scalars_ = other.scalars_;
     phase_ = other.phase_;
     posted_at_ = other.posted_at_;
     cost_ = other.cost_;
+    counted_ = other.counted_;
     other.cluster_ = nullptr;
   }
 
   Cluster* cluster_ = nullptr;  // non-null while pending
-  std::array<double, kMaxScalars> values_{};
+  std::vector<double> values_;
   int scalars_ = 0;
   Phase phase_ = Phase::kIteration;
   double posted_at_ = 0.0;  // clock total at post
   double cost_ = 0.0;       // full tree-allreduce latency
+  bool counted_ = false;    // tracked in Cluster's in-flight counter
 };
 
 /// Posts an allreduce of `scalars` values. `per_node` is node-major: node
@@ -114,6 +119,31 @@ class PendingReduction {
                                                const DistVector& r,
                                                const DistVector& u,
                                                const DistVector& w, Phase phase);
+
+/// Posts the pipelined-CR iteration reduction (arXiv:1912.09230 variant):
+/// value(0) = uᵀw (gamma), value(1) = wᵀm (delta), value(2) = rᵀr. Posted
+/// after m = M⁻¹w is available, so the SpMV n = A m hides the latency.
+[[nodiscard]] PendingReduction ipipelined_cr_dots(Cluster& cluster,
+                                                  const DistVector& r,
+                                                  const DistVector& u,
+                                                  const DistVector& w,
+                                                  const DistVector& m,
+                                                  Phase phase);
+
+/// Packed upper-triangular index of the (i, j) entry of an nb x nb Gram
+/// matrix, i <= j: row-major over the upper triangle, so (0,0) -> 0,
+/// (0,nb-1) -> nb-1, (1,1) -> nb, ... Total entries: nb*(nb+1)/2.
+[[nodiscard]] constexpr int gram_index(int i, int j, int nb) {
+  return i * nb - (i * (i - 1)) / 2 + (j - i);
+}
+
+/// Posts the depth-l pipelined iteration reduction: the full symmetric Gram
+/// matrix of the `basis` vectors, packed upper triangle in gram_index order,
+/// fused into one nb*(nb+1)/2-scalar allreduce so one tree latency covers
+/// every inner product the next l iterations need. value(gram_index(i,j,nb))
+/// = basis[i]^T basis[j].
+[[nodiscard]] PendingReduction ipipelined_gram(
+    Cluster& cluster, std::span<const DistVector* const> basis, Phase phase);
 
 /// Blocking allreduce-sum: post + immediate wait (fully exposed latency).
 double allreduce_sum(Cluster& cluster, std::span<const double> per_node,

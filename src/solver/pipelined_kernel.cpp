@@ -1,0 +1,146 @@
+#include "solver/pipelined_kernel.hpp"
+
+#include <algorithm>
+
+#include "sim/collectives.hpp"  // gram_index
+#include "util/check.hpp"
+
+namespace rpcg {
+
+namespace {
+
+/// Symmetric access into the packed upper triangle.
+[[nodiscard]] double gram_at(std::span<const double> gram, int nb, int i,
+                             int j) {
+  if (i > j) std::swap(i, j);
+  return gram[static_cast<std::size_t>(gram_index(i, j, nb))];
+}
+
+/// c1^T G c2 over the packed symmetric Gram matrix.
+[[nodiscard]] double quadratic(std::span<const double> gram, int nb,
+                               std::span<const double> c1,
+                               std::span<const double> c2) {
+  double total = 0.0;
+  for (int i = 0; i < nb; ++i) {
+    if (c1[static_cast<std::size_t>(i)] == 0.0) continue;
+    double row = 0.0;
+    for (int j = 0; j < nb; ++j)
+      row += gram_at(gram, nb, i, j) * c2[static_cast<std::size_t>(j)];
+    total += c1[static_cast<std::size_t>(i)] * row;
+  }
+  return total;
+}
+
+}  // namespace
+
+PipelinedBasisLayout PipelinedBasisLayout::make(PipelinedMethod method,
+                                                int depth) {
+  RPCG_CHECK(depth >= 1 && depth <= kMaxPipelineDepth,
+             "pipeline depth out of range");
+  PipelinedBasisLayout layout;
+  layout.method = method;
+  layout.depth = depth;
+  layout.steps = depth - 1;
+  // CG's final dots involve only r/u/w, so d chain levels close d replay
+  // steps; CR's delta reads m_1 after the replay, costing one more level.
+  const int chain = method == PipelinedMethod::kConjugateResidual
+                        ? layout.steps + 1
+                        : layout.steps;
+  layout.chain = std::max(1, chain);
+  layout.nb = 4 * layout.chain + 4;
+  return layout;
+}
+
+PipelinedScalars direct_pipelined_scalars(const PipelinedBasisLayout& layout,
+                                          std::span<const double> gram) {
+  PipelinedScalars out;
+  const int nb = layout.nb;
+  out.rr = gram_at(gram, nb, layout.r(), layout.r());
+  if (layout.method == PipelinedMethod::kConjugateGradient) {
+    out.gamma = gram_at(gram, nb, layout.r(), layout.u());
+    out.delta = gram_at(gram, nb, layout.w(), layout.u());
+  } else {
+    out.gamma = gram_at(gram, nb, layout.u(), layout.w());
+    out.delta = gram_at(gram, nb, layout.w(), layout.m(1));
+  }
+  return out;
+}
+
+PipelinedScalars predict_pipelined_scalars(
+    const PipelinedBasisLayout& layout, std::span<const double> gram,
+    std::span<const IterationCoeffs> history) {
+  RPCG_CHECK(static_cast<int>(history.size()) == layout.steps,
+             "prediction needs exactly one (beta, alpha) pair per replayed "
+             "iteration");
+  const int nb = layout.nb;
+  const int L = layout.chain;
+
+  // Coefficient vectors over the posted basis, initialized to unit vectors.
+  const auto unit = [nb](int idx) {
+    std::vector<double> c(static_cast<std::size_t>(nb), 0.0);
+    c[static_cast<std::size_t>(idx)] = 1.0;
+    return c;
+  };
+  std::vector<double> cr = unit(layout.r());
+  std::vector<double> cu = unit(layout.u());
+  std::vector<double> cw = unit(layout.w());
+  std::vector<double> cs = unit(layout.s());
+  std::vector<double> cq = unit(layout.q());
+  std::vector<double> cz = unit(layout.z());
+  std::vector<std::vector<double>> cm, cn, czeta, cxi;
+  for (int i = 1; i <= L; ++i) {
+    cm.push_back(unit(layout.m(i)));
+    cn.push_back(unit(layout.n(i)));
+  }
+  for (int i = 1; i <= L - 1; ++i) {
+    czeta.push_back(unit(layout.zeta(i)));
+    cxi.push_back(unit(layout.xi(i)));
+  }
+
+  const auto xpby_c = [nb](std::span<const double> x, double beta,
+                           std::vector<double>& y) {
+    for (int i = 0; i < nb; ++i)
+      y[static_cast<std::size_t>(i)] =
+          x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+  };
+  const auto axpy_c = [nb](double alpha, std::span<const double> x,
+                           std::vector<double>& y) {
+    for (int i = 0; i < nb; ++i)
+      y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  };
+
+  // Replay the engine's vector recurrences in coefficient space, one
+  // intervening iteration at a time. The update order mirrors the engine
+  // loop exactly; each replayed step consumes one chain level.
+  for (const IterationCoeffs& it : history) {
+    xpby_c(cw, it.beta, cs);      // s = w + beta s
+    xpby_c(cm[0], it.beta, cq);   // q = m_1 + beta q
+    xpby_c(cn[0], it.beta, cz);   // z = n_1 + beta z
+    axpy_c(-it.alpha, cs, cr);    // r -= alpha s
+    axpy_c(-it.alpha, cq, cu);    // u -= alpha q
+    axpy_c(-it.alpha, cz, cw);    // w -= alpha z
+    for (int i = 0; i < L - 1; ++i) {
+      xpby_c(cm[static_cast<std::size_t>(i) + 1], it.beta,
+             czeta[static_cast<std::size_t>(i)]);  // zeta_i = m_{i+1}+b zeta_i
+      xpby_c(cn[static_cast<std::size_t>(i) + 1], it.beta,
+             cxi[static_cast<std::size_t>(i)]);    // xi_i = n_{i+1}+b xi_i
+      axpy_c(-it.alpha, czeta[static_cast<std::size_t>(i)],
+             cm[static_cast<std::size_t>(i)]);     // m_i -= alpha zeta_i
+      axpy_c(-it.alpha, cxi[static_cast<std::size_t>(i)],
+             cn[static_cast<std::size_t>(i)]);     // n_i -= alpha xi_i
+    }
+  }
+
+  PipelinedScalars out;
+  out.rr = std::max(0.0, quadratic(gram, nb, cr, cr));
+  if (layout.method == PipelinedMethod::kConjugateGradient) {
+    out.gamma = quadratic(gram, nb, cr, cu);
+    out.delta = quadratic(gram, nb, cw, cu);
+  } else {
+    out.gamma = quadratic(gram, nb, cu, cw);
+    out.delta = quadratic(gram, nb, cw, cm[0]);
+  }
+  return out;
+}
+
+}  // namespace rpcg

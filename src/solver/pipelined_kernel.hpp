@@ -1,0 +1,101 @@
+// The depth-l pipelined Krylov kernel: basis layout and scalar prediction
+// shared by the communication-hiding CG and CR engines (core/pipelined_pcg).
+//
+// A depth-l solver posts, every iteration k, ONE fused reduction carrying the
+// packed Gram matrix of a fixed basis B_k of recurrence vectors, and waits it
+// only at iteration k + (l-1) — so l reductions are in flight at once. The
+// scalars iteration k needs (gamma_k, delta_k, ||r_k||^2) are then *predicted*
+// from the Gram matrix of B_{k-d} (d = l-1): every vector of iteration k is an
+// exact linear combination of B_{k-d}, with coefficients obtained by replaying
+// the d intervening iterations' recurrences in coefficient space. This is the
+// Gram-matrix generalization of Ghysels & Vanroose's one-step pipelining, per
+// the deep-pipelining direction of Levonyak et al. (arXiv:1912.09230).
+//
+// Basis of iteration j (chain length L, nb = 4L + 4 vectors):
+//   [0] r_j  [1] u_j = M^-1 r_j  [2] w_j = A u_j
+//   [3] s_{j-1}  [4] q_{j-1}  [5] z_{j-1}          (previous update's vectors)
+//   [6 .. 5+L]      m_i = (M^-1 A)^i u_j,  i = 1..L   ("preconditioned chain")
+//   [6+L .. 5+2L]   n_i = A m_i
+//   [6+2L ..]       zeta_i = (M^-1 A)^i q_{j-1},  i = 1..L-1
+//   [..]            xi_i = A zeta_i
+// The chains close the recurrences: replaying one iteration consumes one
+// chain level, so L = d suffices for CG and L = d + 1 for CR (whose delta
+// needs m_1 one level deeper). Depth is capped so the fused payload stays
+// a few hundred scalars (nb = 20 at depth 4).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rpcg {
+
+/// Which pipelined Krylov method the kernel serves. Both share identical
+/// scalar and vector recurrences; only the inner products differ:
+///   CG:  gamma = r^T u,  delta = w^T u
+///   CR:  gamma = u^T w,  delta = w^T m_1   (minimizing ||r|| in M^-1-norm)
+enum class PipelinedMethod {
+  kConjugateGradient,
+  kConjugateResidual,
+};
+
+/// Deepest supported ring (nb = 20, 210 packed Gram scalars at depth 4).
+inline constexpr int kMaxPipelineDepth = 4;
+
+/// The basis layout of a (method, depth) pair; all indices into the packed
+/// Gram matrix go through this.
+struct PipelinedBasisLayout {
+  PipelinedMethod method = PipelinedMethod::kConjugateGradient;
+  int depth = 1;  ///< l: reductions in flight
+  int steps = 0;  ///< d = l - 1: iterations replayed per prediction
+  int chain = 1;  ///< L: chain levels (d for CG, d+1 for CR, min 1)
+  int nb = 8;     ///< basis size 4L + 4
+
+  [[nodiscard]] static PipelinedBasisLayout make(PipelinedMethod method,
+                                                 int depth);
+
+  [[nodiscard]] int r() const { return 0; }
+  [[nodiscard]] int u() const { return 1; }
+  [[nodiscard]] int w() const { return 2; }
+  [[nodiscard]] int s() const { return 3; }
+  [[nodiscard]] int q() const { return 4; }
+  [[nodiscard]] int z() const { return 5; }
+  /// 1-based chain indices, i in 1..L (zeta/xi: 1..L-1).
+  [[nodiscard]] int m(int i) const { return 6 + (i - 1); }
+  [[nodiscard]] int n(int i) const { return 6 + chain + (i - 1); }
+  [[nodiscard]] int zeta(int i) const { return 6 + 2 * chain + (i - 1); }
+  [[nodiscard]] int xi(int i) const { return 5 + 3 * chain + (i - 1); }
+
+  /// Packed Gram entries: nb (nb + 1) / 2.
+  [[nodiscard]] int gram_entries() const { return nb * (nb + 1) / 2; }
+};
+
+/// The three fused scalars of one pipelined iteration.
+struct PipelinedScalars {
+  double gamma = 0.0;
+  double delta = 0.0;
+  double rr = 0.0;
+};
+
+/// One completed iteration's replicated recurrence scalars, the prediction
+/// replay input.
+struct IterationCoeffs {
+  double beta = 0.0;
+  double alpha = 0.0;
+};
+
+/// Reads gamma/delta/rr directly from the Gram matrix of the *current*
+/// iteration's basis (warmup turns of the ring, where the reduction is
+/// waited in its own iteration).
+[[nodiscard]] PipelinedScalars direct_pipelined_scalars(
+    const PipelinedBasisLayout& layout, std::span<const double> gram);
+
+/// Predicts iteration k's gamma/delta/rr from the Gram matrix of basis
+/// B_{k-d} by replaying the `history` of the d intervening iterations
+/// (oldest first; history.size() must equal layout.steps) in coefficient
+/// space. Pure replicated-scalar math: O(d * nb) flops, no communication.
+[[nodiscard]] PipelinedScalars predict_pipelined_scalars(
+    const PipelinedBasisLayout& layout, std::span<const double> gram,
+    std::span<const IterationCoeffs> history);
+
+}  // namespace rpcg

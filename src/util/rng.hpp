@@ -45,6 +45,14 @@ class Rng {
   /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
 
+  /// Exponential deviate with the given rate (mean 1/rate). Requires
+  /// rate > 0. Inverse-CDF on one uniform, so streams stay bit-reproducible.
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
   /// Standard normal deviate (Box–Muller; uses two uniforms per call).
   double normal() {
     double u1 = uniform();

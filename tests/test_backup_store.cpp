@@ -56,8 +56,8 @@ TEST(BackupStore, GatherLostReturnsExactValues) {
   f.cluster.fail_node(1);
   const auto got = f.store.gather_lost(f.cluster, rows);
   for (std::size_t k = 0; k < rows.size(); ++k) {
-    EXPECT_DOUBLE_EQ(got.cur[k], 500.0 + static_cast<double>(rows[k]));
-    EXPECT_DOUBLE_EQ(got.prev[k], 100.0 + static_cast<double>(rows[k]));
+    EXPECT_DOUBLE_EQ(got.gens[0][k], 500.0 + static_cast<double>(rows[k]));
+    EXPECT_DOUBLE_EQ(got.gens[1][k], 100.0 + static_cast<double>(rows[k]));
   }
   EXPECT_EQ(got.elements_transferred, 2 * static_cast<Index>(rows.size()));
   EXPECT_GT(f.cluster.clock().in_phase(Phase::kRecovery), 0.0);
@@ -131,6 +131,62 @@ TEST(BackupStore, ReArmRestoresReplacementHostedCopies) {
     EXPECT_TRUE(f.store.lookup(f.cluster, owner, s, 0).has_value());
     EXPECT_TRUE(f.store.lookup(f.cluster, owner, s, 1).has_value());
   }
+}
+
+TEST(BackupStore, NGenerationRingRoundTrips) {
+  // The depth-l pipelined solver backs up depth+1 generations of u. Four
+  // recorded snapshots must come back newest-first through both lookup and
+  // gather_lost, and a fifth record must evict exactly the oldest.
+  Fixture f;
+  f.store.configure(f.dist.scatter_plan(), f.scheme, f.part, 4);
+  for (const double offset : {1000.0, 2000.0, 3000.0, 4000.0})
+    f.fill_and_record(offset);
+  for (Index s = 0; s < f.a.rows(); ++s) {
+    const NodeId owner = f.part.owner(s);
+    for (int g = 0; g < 4; ++g) {
+      const auto got = f.store.lookup(f.cluster, owner, s, g);
+      ASSERT_TRUE(got.has_value()) << "element " << s << " gen " << g;
+      EXPECT_DOUBLE_EQ(got->value,
+                       1000.0 * static_cast<double>(4 - g) +
+                           static_cast<double>(s));
+    }
+  }
+  f.fill_and_record(5000.0);  // evicts the 1000.0 snapshot
+  f.store.invalidate_node(1);
+  f.cluster.fail_node(1);
+  const auto rows = f.part.rows_of_set(std::vector<NodeId>{1});
+  const auto got = f.store.gather_lost(f.cluster, rows);
+  ASSERT_EQ(got.gens.size(), 4u);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    for (int g = 0; g < 4; ++g) {
+      EXPECT_DOUBLE_EQ(got.gens[static_cast<std::size_t>(g)][k],
+                       1000.0 * static_cast<double>(5 - g) +
+                           static_cast<double>(rows[k]));
+    }
+  }
+  EXPECT_EQ(got.elements_transferred, 4 * static_cast<Index>(rows.size()));
+}
+
+TEST(BackupStore, ConfigureRejectsSingleGeneration) {
+  Fixture f;
+  EXPECT_THROW(
+      f.store.configure(f.dist.scatter_plan(), f.scheme, f.part, 1),
+      std::logic_error);
+}
+
+TEST(BackupStore, ReArmSpanMustMatchGenerationCount) {
+  Fixture f;  // configured with the default 2 generations
+  f.fill_and_record(1.0);
+  f.fill_and_record(2.0);
+  f.store.invalidate_node(2);
+  f.cluster.fail_node(2);
+  f.cluster.replace_node(2);
+  const std::vector<NodeId> repl{2};
+  const DistVector only_current(f.part);
+  const std::vector<const DistVector*> too_few{&only_current};
+  EXPECT_THROW(
+      f.store.re_arm(f.cluster, repl, too_few),
+      std::logic_error);
 }
 
 TEST(BackupStore, MemoryOverheadIsModest) {

@@ -65,8 +65,8 @@ TEST_P(ExhaustiveSubsets, EverySubsetUpToPhiIsDataRecoverable) {
         << "strategy " << to_string(strategy) << ", failed set size "
         << failed.size();
     for (std::size_t k = 0; k < rows.size(); ++k) {
-      EXPECT_DOUBLE_EQ(got.cur[k], static_cast<double>(rows[k]) + 0.5);
-      EXPECT_DOUBLE_EQ(got.prev[k], static_cast<double>(rows[k]) + 0.5);
+      EXPECT_DOUBLE_EQ(got.gens[0][k], static_cast<double>(rows[k]) + 0.5);
+      EXPECT_DOUBLE_EQ(got.gens[1][k], static_cast<double>(rows[k]) + 0.5);
     }
   }
 }

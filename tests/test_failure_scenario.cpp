@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -266,6 +267,76 @@ TEST(FailureScenario, EnumNamesRoundTrip) {
   EXPECT_EQ(to_string(ScenarioKind::kCascading), "cascading");
   EXPECT_EQ(to_string(ScenarioKind::kDuringRecovery), "during-recovery");
   EXPECT_EQ(to_string(ScenarioKind::kMixed), "mixed");
+  EXPECT_EQ(to_string(ScenarioKind::kExponential), "exponential");
+}
+
+// ---- the exponential (memoryless) arrival process --------------------------
+// Unlike the structural kinds, exponential gaps are not clipped to the
+// horizon, so it stays outside the ScenarioKinds shape suite and carries its
+// own property tests.
+
+TEST(FailureScenario, ExponentialIsDeterministicInSeed) {
+  for (const std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kExponential, seed);
+    cfg.events = 6;
+    cfg.rate = 0.2;
+    const FailureSchedule first = generate_scenario(cfg, 12);
+    const FailureSchedule second = generate_scenario(cfg, 12);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first.events().size(), 6u);
+    expect_equal_schedules(first, second);
+  }
+}
+
+TEST(FailureScenario, ExponentialIterationsStrictlyIncreaseFromOne) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kExponential, seed);
+    cfg.events = 8;
+    cfg.rate = 0.5;  // mean gap 2: the +1 minimum-spacing rule gets exercised
+    cfg.max_nodes_per_event = 3;
+    const FailureSchedule s = generate_scenario(cfg, 12);
+    ASSERT_EQ(s.events().size(), 8u) << "seed " << seed;
+    int prev = 0;
+    for (const FailureEvent& ev : s.events()) {
+      EXPECT_GT(ev.iteration, prev) << "seed " << seed;
+      prev = ev.iteration;
+      ASSERT_FALSE(ev.nodes.empty());
+      EXPECT_LE(static_cast<int>(ev.nodes.size()), cfg.max_nodes_per_event);
+      EXPECT_TRUE(std::is_sorted(ev.nodes.begin(), ev.nodes.end()));
+      for (const NodeId n : ev.nodes) {
+        EXPECT_GE(n, 0);
+        EXPECT_LT(n, 12);
+      }
+    }
+    EXPECT_GE(s.events().front().iteration, 1) << "seed " << seed;
+  }
+}
+
+TEST(FailureScenario, ExponentialMeanGapTracksTheRate) {
+  // Law of large numbers over one long schedule: the sample mean of the
+  // inter-arrival gaps approaches 1 / rate (the ceil-to-iteration rounding
+  // adds ~0.5, well inside the 10% band at mean 10).
+  FailureScenarioConfig cfg = base_config(ScenarioKind::kExponential, 99);
+  cfg.events = 3000;
+  cfg.rate = 0.1;
+  const FailureSchedule s = generate_scenario(cfg, 16);
+  ASSERT_EQ(s.events().size(), 3000u);
+  const double span =
+      static_cast<double>(s.events().back().iteration -
+                          s.events().front().iteration);
+  const double mean_gap = span / static_cast<double>(s.events().size() - 1);
+  EXPECT_NEAR(mean_gap, 1.0 / cfg.rate, 0.1 / cfg.rate);
+}
+
+TEST(FailureScenario, ExponentialRejectsBadRates) {
+  for (const double bad :
+       {0.0, -1.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kExponential, 1);
+    cfg.rate = bad;
+    EXPECT_THROW((void)generate_scenario(cfg, 8), std::invalid_argument)
+        << "rate " << bad;
+  }
 }
 
 }  // namespace

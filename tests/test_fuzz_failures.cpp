@@ -458,7 +458,8 @@ INSTANTIATE_TEST_SUITE_P(
     SolversByScenario, ScenarioFuzz,
     ::testing::Combine(
         ::testing::Values("resilient-pcg", "pipelined-resilient-pcg",
-                          "checkpoint-recovery", "twin-pcg"),
+                          "pipelined-resilient-cr", "checkpoint-recovery",
+                          "twin-pcg"),
         ::testing::Values(ScenarioKind::kCorrelated, ScenarioKind::kCascading,
                           ScenarioKind::kDuringRecovery, ScenarioKind::kMixed),
         ::testing::Range(1, 4)),

@@ -56,13 +56,20 @@ RunOutput run_once(const std::string& solver_name, const std::string& precond,
                              // comparison is on the full report either way
   cfg.exec = exec;
   FailureSchedule schedule;
-  // The reference "pcg" and the plain "pipelined-pcg" tolerate no failures;
-  // every resilient family runs the multi-failure schedule with phi = 3.
-  if (solver_name != "pcg" && solver_name != "pipelined-pcg") {
+  // The reference "pcg" and the plain pipelined solvers tolerate no
+  // failures; every resilient family runs the multi-failure schedule with
+  // phi = 3.
+  if (solver_name != "pcg" && solver_name != "pipelined-pcg" &&
+      solver_name != "pipelined-cr") {
     cfg.phi = 3;
     if (solver_name == "resilient-pcg") cfg.recovery = RecoveryMethod::kEsr;
     schedule = multi_failure_schedule();
   }
+  // The pipelined families run at depth 3, so the battery covers the Gram
+  // reduction ring, coefficient-space prediction, and (for the resilient
+  // keys) the flush-and-warmup recovery path — not just the classic
+  // depth-1 loop.
+  if (solver_name.rfind("pipelined-", 0) == 0) cfg.pipeline_depth = 3;
   RunOutput out;
   cfg.events.on_iteration = [&out](const IterationSnapshot& snap) {
     out.residual_history.push_back(snap.rel_residual);

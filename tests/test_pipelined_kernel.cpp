@@ -1,0 +1,318 @@
+// The depth-l pipelined Krylov kernel in isolation: basis-layout shape and
+// index invariants, depth-range validation, direct Gram reads against plain
+// dot products, and — the core contract — coefficient-space prediction
+// replaying d iterations exactly (to roundoff) against a plain-arithmetic
+// Ghysels–Vanroose reference loop, for both the CG and CR inner products at
+// every supported depth.
+#include "solver/pipelined_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/collectives.hpp"  // gram_index: the packed-triangle order
+
+namespace rpcg {
+namespace {
+
+using Vec = std::vector<double>;
+
+double dot(const Vec& a, const Vec& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void xpby(const Vec& x, double beta, Vec& y) {  // y = x + beta * y
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {  // y += alpha * x
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// A shifted 1-D Laplacian: SPD, mildly conditioned so the reference loop
+/// needs a healthy number of iterations (prediction would be trivially
+/// "exact" on a system that converges in two steps).
+struct TinySystem {
+  int n = 24;
+  Vec diag, off;
+
+  TinySystem() {
+    diag.assign(static_cast<std::size_t>(n), 0.0);
+    off.assign(static_cast<std::size_t>(n - 1), -1.0);
+    for (int i = 0; i < n; ++i)
+      diag[static_cast<std::size_t>(i)] = 2.05 + 0.01 * (i % 5);
+  }
+
+  [[nodiscard]] Vec apply(const Vec& v) const {
+    Vec out(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      out[u] = diag[u] * v[u];
+      if (i > 0) out[u] += off[u - 1] * v[u - 1];
+      if (i + 1 < n) out[u] += off[u] * v[u + 1];
+    }
+    return out;
+  }
+
+  [[nodiscard]] Vec precond(const Vec& v) const {  // Jacobi: M = diag(A)
+    Vec out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      out[u] = v[u] / diag[u];
+    }
+    return out;
+  }
+};
+
+/// A plain-arithmetic depth-1 Ghysels–Vanroose loop (no prediction, no
+/// cluster) exposing its full state, so a test can snapshot the basis of any
+/// iteration, step forward, and compare predicted scalars with true dots.
+struct ReferenceLoop {
+  TinySystem sys;
+  PipelinedMethod method;
+  Vec x, r, u, w, s, q, z, p;
+  double gamma_prev = 0.0, alpha_prev = 0.0;
+  std::vector<IterationCoeffs> coeffs;  // one entry per completed step
+
+  explicit ReferenceLoop(PipelinedMethod m) : method(m) {
+    const auto n = static_cast<std::size_t>(sys.n);
+    x.assign(n, 0.0);
+    Vec b(n);
+    for (std::size_t i = 0; i < n; ++i)
+      b[i] = std::sin(1.0 + static_cast<double>(i)) + 0.25;
+    r = b;
+    u = sys.precond(r);
+    w = sys.apply(u);
+    s.assign(n, 0.0);
+    q = s;
+    z = s;
+    p = s;
+  }
+
+  /// The fused scalars of the *current* iteration, by direct dot products.
+  [[nodiscard]] PipelinedScalars dots() const {
+    PipelinedScalars sc;
+    if (method == PipelinedMethod::kConjugateGradient) {
+      sc.gamma = dot(r, u);
+      sc.delta = dot(w, u);
+    } else {
+      sc.gamma = dot(u, w);
+      sc.delta = dot(w, sys.precond(w));  // w^T m_1, m_1 = M^-1 A u = M^-1 w
+    }
+    sc.rr = dot(r, r);
+    return sc;
+  }
+
+  void step() {
+    const PipelinedScalars sc = dots();
+    const Vec m1 = sys.precond(w);
+    const Vec n1 = sys.apply(m1);
+    IterationCoeffs c;
+    if (coeffs.empty()) {
+      c.beta = 0.0;
+      c.alpha = sc.gamma / sc.delta;
+    } else {
+      c.beta = sc.gamma / gamma_prev;
+      c.alpha = sc.gamma / (sc.delta - c.beta * sc.gamma / alpha_prev);
+    }
+    xpby(w, c.beta, s);
+    xpby(m1, c.beta, q);
+    xpby(n1, c.beta, z);
+    xpby(u, c.beta, p);
+    axpy(c.alpha, p, x);
+    axpy(-c.alpha, s, r);
+    axpy(-c.alpha, q, u);
+    axpy(-c.alpha, z, w);
+    gamma_prev = sc.gamma;
+    alpha_prev = c.alpha;
+    coeffs.push_back(c);
+  }
+
+  /// The basis B_j of the current iteration, in layout order (s/q/z hold the
+  /// previous update's vectors at the top of a step, exactly as the engine
+  /// posts them).
+  [[nodiscard]] std::vector<Vec> basis(const PipelinedBasisLayout& lay) const {
+    std::vector<Vec> b(static_cast<std::size_t>(lay.nb));
+    b[static_cast<std::size_t>(lay.r())] = r;
+    b[static_cast<std::size_t>(lay.u())] = u;
+    b[static_cast<std::size_t>(lay.w())] = w;
+    b[static_cast<std::size_t>(lay.s())] = s;
+    b[static_cast<std::size_t>(lay.q())] = q;
+    b[static_cast<std::size_t>(lay.z())] = z;
+    Vec mv = u;
+    for (int i = 1; i <= lay.chain; ++i) {
+      mv = sys.precond(sys.apply(mv));  // (M^-1 A)^i u
+      b[static_cast<std::size_t>(lay.m(i))] = mv;
+      b[static_cast<std::size_t>(lay.n(i))] = sys.apply(mv);
+    }
+    Vec qv = q;
+    for (int i = 1; i + 1 <= lay.chain; ++i) {
+      qv = sys.precond(sys.apply(qv));  // (M^-1 A)^i q_{j-1}
+      b[static_cast<std::size_t>(lay.zeta(i))] = qv;
+      b[static_cast<std::size_t>(lay.xi(i))] = sys.apply(qv);
+    }
+    return b;
+  }
+
+  /// The packed Gram matrix of basis(), in the collective's triangle order.
+  [[nodiscard]] Vec packed_gram(const PipelinedBasisLayout& lay) const {
+    const std::vector<Vec> bvecs = basis(lay);
+    Vec g(static_cast<std::size_t>(lay.gram_entries()), 0.0);
+    for (int a = 0; a < lay.nb; ++a)
+      for (int bj = a; bj < lay.nb; ++bj)
+        g[static_cast<std::size_t>(gram_index(a, bj, lay.nb))] =
+            dot(bvecs[static_cast<std::size_t>(a)],
+                bvecs[static_cast<std::size_t>(bj)]);
+    return g;
+  }
+};
+
+void expect_rel_near(double expected, double actual, double rtol,
+                     const char* what) {
+  const double scale = std::max(std::abs(expected), 1e-30);
+  EXPECT_NEAR(actual, expected, rtol * scale) << what;
+}
+
+TEST(PipelinedKernel, LayoutShapes) {
+  for (int depth = 1; depth <= kMaxPipelineDepth; ++depth) {
+    const auto cg = PipelinedBasisLayout::make(
+        PipelinedMethod::kConjugateGradient, depth);
+    EXPECT_EQ(cg.depth, depth);
+    EXPECT_EQ(cg.steps, depth - 1);
+    EXPECT_EQ(cg.chain, std::max(1, depth - 1));  // L = d for CG (min 1)
+    EXPECT_EQ(cg.nb, 4 * cg.chain + 4);
+    const auto cr = PipelinedBasisLayout::make(
+        PipelinedMethod::kConjugateResidual, depth);
+    EXPECT_EQ(cr.steps, depth - 1);
+    EXPECT_EQ(cr.chain, depth);  // L = d + 1: CR's delta reads one level deeper
+    EXPECT_EQ(cr.nb, 4 * depth + 4);
+    EXPECT_EQ(cr.gram_entries(), cr.nb * (cr.nb + 1) / 2);
+  }
+  // The depth cap keeps the fused payload inside one wide reduction.
+  const auto deepest = PipelinedBasisLayout::make(
+      PipelinedMethod::kConjugateResidual, kMaxPipelineDepth);
+  EXPECT_EQ(deepest.nb, 20);
+  EXPECT_EQ(deepest.gram_entries(), 210);
+  EXPECT_LE(deepest.gram_entries(), PendingReduction::kMaxScalars);
+}
+
+TEST(PipelinedKernel, LayoutIndicesPartitionTheBasis) {
+  // Every index in [0, nb) is produced by exactly one accessor: the packed
+  // Gram rows stay unambiguous at every (method, depth).
+  for (const PipelinedMethod method : {PipelinedMethod::kConjugateGradient,
+                                       PipelinedMethod::kConjugateResidual}) {
+    for (int depth = 1; depth <= kMaxPipelineDepth; ++depth) {
+      const auto lay = PipelinedBasisLayout::make(method, depth);
+      std::vector<int> hits(static_cast<std::size_t>(lay.nb), 0);
+      const auto hit = [&hits](int idx) {
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, static_cast<int>(hits.size()));
+        ++hits[static_cast<std::size_t>(idx)];
+      };
+      hit(lay.r());
+      hit(lay.u());
+      hit(lay.w());
+      hit(lay.s());
+      hit(lay.q());
+      hit(lay.z());
+      for (int i = 1; i <= lay.chain; ++i) {
+        hit(lay.m(i));
+        hit(lay.n(i));
+      }
+      for (int i = 1; i + 1 <= lay.chain; ++i) {
+        hit(lay.zeta(i));
+        hit(lay.xi(i));
+      }
+      for (const int h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(PipelinedKernel, MakeRejectsOutOfRangeDepths) {
+  EXPECT_THROW((void)PipelinedBasisLayout::make(
+                   PipelinedMethod::kConjugateGradient, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)PipelinedBasisLayout::make(
+                   PipelinedMethod::kConjugateResidual, kMaxPipelineDepth + 1),
+               std::invalid_argument);
+}
+
+TEST(PipelinedKernel, DirectScalarsMatchPlainDots) {
+  for (const PipelinedMethod method : {PipelinedMethod::kConjugateGradient,
+                                       PipelinedMethod::kConjugateResidual}) {
+    ReferenceLoop ref(method);
+    for (int k = 0; k < 3; ++k) ref.step();
+    const auto lay = PipelinedBasisLayout::make(method, 1);
+    const PipelinedScalars truth = ref.dots();
+    const PipelinedScalars got =
+        direct_pipelined_scalars(lay, ref.packed_gram(lay));
+    expect_rel_near(truth.gamma, got.gamma, 1e-12, "gamma");
+    expect_rel_near(truth.delta, got.delta, 1e-12, "delta");
+    expect_rel_near(truth.rr, got.rr, 1e-12, "rr");
+  }
+}
+
+TEST(PipelinedKernel, PredictWithEmptyHistoryIsDirect) {
+  // d = 0: the replay is a no-op, so prediction must reduce to the direct
+  // Gram read bit-for-bit (unit coefficient vectors select single entries).
+  for (const PipelinedMethod method : {PipelinedMethod::kConjugateGradient,
+                                       PipelinedMethod::kConjugateResidual}) {
+    ReferenceLoop ref(method);
+    for (int k = 0; k < 2; ++k) ref.step();
+    const auto lay = PipelinedBasisLayout::make(method, 1);
+    const Vec gram = ref.packed_gram(lay);
+    const PipelinedScalars direct = direct_pipelined_scalars(lay, gram);
+    const PipelinedScalars pred = predict_pipelined_scalars(lay, gram, {});
+    EXPECT_DOUBLE_EQ(direct.gamma, pred.gamma);
+    EXPECT_DOUBLE_EQ(direct.delta, pred.delta);
+    EXPECT_DOUBLE_EQ(direct.rr, pred.rr);
+  }
+}
+
+TEST(PipelinedKernel, PredictionReplaysExactlyAtEveryDepth) {
+  // The core contract: gamma/delta/rr of iteration j + d predicted from the
+  // Gram matrix of basis B_j must equal the true dot products of the vectors
+  // advanced d steps by the same recurrences — to roundoff, since both sides
+  // are the same bilinear forms evaluated in different bases.
+  for (const PipelinedMethod method : {PipelinedMethod::kConjugateGradient,
+                                       PipelinedMethod::kConjugateResidual}) {
+    for (int depth = 2; depth <= kMaxPipelineDepth; ++depth) {
+      ReferenceLoop ref(method);
+      for (int k = 0; k < 4; ++k) ref.step();  // past the beta = 0 start
+
+      const auto lay = PipelinedBasisLayout::make(method, depth);
+      const Vec gram = ref.packed_gram(lay);  // snapshot B_j
+      for (int k = 0; k < lay.steps; ++k) ref.step();
+      const std::vector<IterationCoeffs> history(
+          ref.coeffs.end() - lay.steps, ref.coeffs.end());
+
+      const PipelinedScalars truth = ref.dots();
+      const PipelinedScalars pred =
+          predict_pipelined_scalars(lay, gram, history);
+      const std::string what = std::string(
+          method == PipelinedMethod::kConjugateGradient ? "cg" : "cr") +
+          " depth " + std::to_string(depth);
+      expect_rel_near(truth.gamma, pred.gamma, 1e-8, what.c_str());
+      expect_rel_near(truth.delta, pred.delta, 1e-8, what.c_str());
+      expect_rel_near(truth.rr, pred.rr, 1e-8, what.c_str());
+    }
+  }
+}
+
+TEST(PipelinedKernel, PredictRejectsWrongHistoryLength) {
+  const auto lay =
+      PipelinedBasisLayout::make(PipelinedMethod::kConjugateGradient, 3);
+  const Vec gram(static_cast<std::size_t>(lay.gram_entries()), 0.0);
+  const std::vector<IterationCoeffs> short_history(1);
+  EXPECT_THROW((void)predict_pipelined_scalars(lay, gram, short_history),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpcg

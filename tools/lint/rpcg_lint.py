@@ -29,9 +29,17 @@ Rules (run with --list-rules for the one-line form):
 
   split-phase          Every translation unit that posts a split-phase
                        reduction (post_allreduce / iallreduce_sum / idot /
-                       idot_pair / ipipelined_dots) must also contain a
-                       .wait() call: an unpaired post silently drops the
-                       latency charge and under-reports simulated time.
+                       idot_pair / ipipelined_dots / ipipelined_gram /
+                       ipipelined_cr_dots) must also contain a .wait() call:
+                       an unpaired post silently drops the latency charge and
+                       under-reports simulated time. A TU that *reassigns* a
+                       post into a stored slot (`ring[i] = idot(...)`,
+                       `slot.red = ipipelined_gram(...)` — the reduction-ring
+                       pattern, where handles outlive the posting statement)
+                       must additionally contain a drain loop (a for/while
+                       whose body wait()s): without one, in-flight handles
+                       are destroyed or overwritten on flush paths and their
+                       latency silently vanishes.
 
   sim-time             Outside src/sim/, simulated time may only be charged
                        through the Cluster API (charge / charge_compute /
@@ -113,10 +121,16 @@ UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*[&*]{0,2}\s*"
     r"(\w+)\s*[;,)({=]"
 )
-POST_RE = re.compile(
-    r"\b(?:post_allreduce|iallreduce_sum|idot|idot_pair|ipipelined_dots)\s*\("
+POST_NAMES = (
+    r"(?:post_allreduce|iallreduce_sum|idot|idot_pair|ipipelined_dots"
+    r"|ipipelined_gram|ipipelined_cr_dots)"
 )
+POST_RE = re.compile(r"\b" + POST_NAMES + r"\s*\(")
+# A post whose result is *assigned* into a subscripted element or a member —
+# the reduction-ring pattern: the handle outlives the posting statement.
+RING_POST_RE = re.compile(r"(?:\]|\.\s*\w+)\s*=\s*" + POST_NAMES + r"\s*\(")
 WAIT_RE = re.compile(r"\.\s*wait\s*\(")
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 SIM_TIME_RE = re.compile(
     r"(?:\.\s*clock\s*\(\s*\)|\bclock_)\s*\.\s*(?:advance|set_noise|set_paused|reset)\s*\("
 )
@@ -262,18 +276,36 @@ def check_unordered_iteration(ctx: FileContext) -> None:
 
 def check_split_phase(ctx: FileContext) -> None:
     first_post = None
+    first_ring_post = None
     has_wait = False
+    has_drain_loop = False
     for lineno, line in enumerate(ctx.code_lines, start=1):
         if first_post is None and POST_RE.search(line):
             first_post = lineno
+        if first_ring_post is None and RING_POST_RE.search(line):
+            first_ring_post = lineno
         if WAIT_RE.search(line):
             has_wait = True
+            # A wait inside (or directly under) a for/while header is a
+            # drain loop: the whole ring of stored handles completes, not
+            # just the one the current iteration touches.
+            lo = max(0, lineno - 4)
+            if any(LOOP_RE.search(prev)
+                   for prev in ctx.code_lines[lo:lineno]):
+                has_drain_loop = True
     if first_post is not None and not has_wait:
         ctx.report(
             "split-phase", first_post,
             "translation unit posts a split-phase reduction but never calls "
             ".wait() — the latency charge is silently dropped and simulated "
             "time is under-reported")
+    if first_ring_post is not None and has_wait and not has_drain_loop:
+        ctx.report(
+            "split-phase", first_ring_post,
+            "reduction posted into a stored slot (reduction-ring pattern) "
+            "but the TU has no drain loop — flush paths that overwrite or "
+            "destroy in-flight handles silently drop their latency; wait() "
+            "every ring entry in a for/while before reuse")
 
 
 def check_sim_time(ctx: FileContext) -> None:
@@ -336,7 +368,8 @@ RULE_SUMMARY = {
                       " maps outside src/util/rng.hpp",
     "unordered-iteration": "no iteration over unordered_map/unordered_set"
                            " (order is implementation-defined)",
-    "split-phase": "every TU that posts a reduction (post_*/i*) also wait()s",
+    "split-phase": "every TU that posts a reduction (post_*/i*) also wait()s;"
+                   " ring-stored posts need a drain loop",
     "sim-time": "SimClock is mutated only under src/sim/; charge via Cluster"
                 " (and src/service/ never charges at all)",
     "header-pragma-once": "headers start with #pragma once",
