@@ -10,22 +10,18 @@
 #pragma once
 
 #include <optional>
-#include <stdexcept>
 #include <vector>
 
+// UnrecoverableFailure used to live here; it now derives from the typed
+// taxonomy (core/errors.hpp) so the service layer can classify it. Kept in
+// this include set because every throw site reaches it through this header.
+#include "core/errors.hpp"
 #include "core/redundancy.hpp"
 #include "sim/cluster.hpp"
 #include "sim/dist_vector.hpp"
 #include "sim/scatter_plan.hpp"
 
 namespace rpcg {
-
-/// Thrown when a lost element has no surviving copy (more failures than the
-/// configured redundancy can tolerate).
-class UnrecoverableFailure : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 class BackupStore {
  public:

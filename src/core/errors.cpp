@@ -1,0 +1,21 @@
+#include "core/errors.hpp"
+
+namespace rpcg {
+
+std::string to_string(ErrorClass c) { return enum_to_string(c); }
+
+ErrorClass classify_exception(const std::exception& e) noexcept {
+  if (const auto* typed = dynamic_cast<const SolverError*>(&e)) {
+    return typed->error_class();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ErrorClass::kInvalidJob;
+  }
+  return ErrorClass::kInternal;
+}
+
+bool is_retryable(ErrorClass c) noexcept {
+  return c != ErrorClass::kInvalidJob;
+}
+
+}  // namespace rpcg

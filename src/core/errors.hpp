@@ -1,0 +1,116 @@
+// The typed error taxonomy of the solver stack.
+//
+// Every failure a solve can surface is classified into an ErrorClass so the
+// service layer can decide — mechanically, without parsing message strings —
+// whether a job is worth retrying, should escalate to a more robust solver,
+// or must be reported as-is:
+//
+//   unrecoverable-failure  more nodes lost than the configured redundancy
+//                          covers (a different strategy may still finish)
+//   divergence             numerical breakdown of the iteration itself
+//                          (BiCGSTAB rho/omega collapse and friends)
+//   budget-exceeded        an enforced budget ran out: the simulated-time
+//                          deadline, the iteration cap under a retry policy,
+//                          or the service's cooperative wall-clock timeout
+//   invalid-job            the job can never succeed as specified (unknown
+//                          keys, unsatisfiable scenario, bad matrix spec);
+//                          retrying is pointless
+//   cache-build-failure    a shared-cache factorization build threw; the
+//                          slot is withdrawn, so a retry re-builds
+//   internal               anything unclassified (including injected
+//                          worker-task faults) — assumed transient
+//
+// Exceptions thrown through SolverError carry their class; foreign
+// exceptions are classified by classify_exception (std::invalid_argument is
+// an invalid job, everything else is internal). Every class except
+// invalid-job is retryable: reruns are deterministic, so only a failure
+// that is provably config-shaped is excluded from the retry loop.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/enum_names.hpp"
+
+namespace rpcg {
+
+enum class ErrorClass {
+  kUnrecoverableFailure,  ///< redundancy cannot cover the failed-node set
+  kDivergence,            ///< numerical breakdown of the iteration
+  kBudgetExceeded,        ///< deadline / iteration / wall-clock budget spent
+  kInvalidJob,            ///< the job as specified can never succeed
+  kCacheBuildFailure,     ///< shared-cache factorization build threw
+  kInternal,              ///< unclassified (assumed transient)
+};
+
+template <>
+struct EnumNames<ErrorClass> {
+  static constexpr const char* context = "error class";
+  static constexpr std::array<std::pair<ErrorClass, const char*>, 6> table{
+      {{ErrorClass::kUnrecoverableFailure, "unrecoverable-failure"},
+       {ErrorClass::kDivergence, "divergence"},
+       {ErrorClass::kBudgetExceeded, "budget-exceeded"},
+       {ErrorClass::kInvalidJob, "invalid-job"},
+       {ErrorClass::kCacheBuildFailure, "cache-build-failure"},
+       {ErrorClass::kInternal, "internal"}}};
+};
+
+[[nodiscard]] std::string to_string(ErrorClass c);
+
+/// Base of every classified exception. Derives from std::runtime_error so
+/// pre-taxonomy catch sites (and tests) keep working unchanged.
+class SolverError : public std::runtime_error {
+ public:
+  SolverError(ErrorClass error_class, const std::string& what)
+      : std::runtime_error(what), class_(error_class) {}
+
+  [[nodiscard]] ErrorClass error_class() const noexcept { return class_; }
+
+ private:
+  ErrorClass class_;
+};
+
+/// Thrown when a lost element has no surviving copy (more failures than the
+/// configured redundancy can tolerate).
+class UnrecoverableFailure : public SolverError {
+ public:
+  explicit UnrecoverableFailure(const std::string& what)
+      : SolverError(ErrorClass::kUnrecoverableFailure, what) {}
+};
+
+/// Numerical breakdown of an iteration (e.g. a BiCGSTAB rho/omega collapse).
+class DivergenceError : public SolverError {
+ public:
+  explicit DivergenceError(const std::string& what)
+      : SolverError(ErrorClass::kDivergence, what) {}
+};
+
+/// An enforced budget ran out: simulated-time deadline, iteration cap under
+/// a retry policy, or the service's cooperative wall-clock timeout.
+class BudgetExceeded : public SolverError {
+ public:
+  explicit BudgetExceeded(const std::string& what)
+      : SolverError(ErrorClass::kBudgetExceeded, what) {}
+};
+
+/// A shared-cache factorization build threw; carries the original builder
+/// message so coalesced waiters see the real cause.
+class CacheBuildFailure : public SolverError {
+ public:
+  explicit CacheBuildFailure(const std::string& what)
+      : SolverError(ErrorClass::kCacheBuildFailure, what) {}
+};
+
+/// Maps any exception onto the taxonomy: a SolverError carries its own
+/// class, std::invalid_argument marks an invalid job (the config-validation
+/// type of RPCG_CHECK and every parser), everything else is internal.
+[[nodiscard]] ErrorClass classify_exception(const std::exception& e) noexcept;
+
+/// Whether a retry policy may rerun a job that failed with this class.
+/// Reruns are deterministic, so only invalid-job — where the spec itself is
+/// the problem — is excluded.
+[[nodiscard]] bool is_retryable(ErrorClass c) noexcept;
+
+}  // namespace rpcg

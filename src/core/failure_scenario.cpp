@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <vector>
 
@@ -30,11 +31,45 @@ bool pairs_with(NodeId candidate, const std::vector<NodeId>& taken, int shift,
   return false;
 }
 
+/// Seeded per-node weight prefix sums for node_rate_spread > 0: node i gets
+/// w_i in [1, 1 + spread] from a stream independent of the event stream, so
+/// turning the skew on re-weights victims without re-rolling iterations.
+/// Empty result = uniform draws (the historical bit-exact path).
+std::vector<double> node_weight_prefix(const FailureScenarioConfig& cfg,
+                                       int num_nodes) {
+  std::vector<double> prefix;
+  if (!(cfg.node_rate_spread > 0.0)) return prefix;
+  Rng wrng(cfg.seed ^ 0xF1AC4BAD0DDB011ULL);
+  prefix.reserve(static_cast<std::size_t>(num_nodes));
+  double sum = 0.0;
+  for (int i = 0; i < num_nodes; ++i) {
+    sum += 1.0 + cfg.node_rate_spread * wrng.uniform();
+    prefix.push_back(sum);
+  }
+  return prefix;
+}
+
+/// One victim draw: uniform when `prefix` is empty (one next_u64, exactly
+/// the pre-spread stream), weight-proportional otherwise (also one draw, so
+/// rejection loops consume the stream at the same pace either way).
+NodeId draw_node(Rng& rng, int num_nodes, const std::vector<double>& prefix) {
+  if (prefix.empty()) {
+    return static_cast<NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_nodes)));
+  }
+  const double u = rng.uniform() * prefix.back();
+  for (int i = 0; i < num_nodes; ++i) {
+    if (u < prefix[static_cast<std::size_t>(i)]) return static_cast<NodeId>(i);
+  }
+  return static_cast<NodeId>(num_nodes - 1);
+}
+
 /// Draws `count` distinct nodes, disjoint from `episode` and (when
 /// forbid_pair_shift > 0) adding no buddy pair to the episode union.
 /// Bounded rejection sampling: determinism needs no retry cap, but an
 /// unsatisfiable config must surface as an error, not a hang.
 std::vector<NodeId> pick_nodes(Rng& rng, const FailureScenarioConfig& cfg,
+                               const std::vector<double>& weights,
                                int num_nodes, int count,
                                const std::vector<NodeId>& episode) {
   std::vector<NodeId> picked;
@@ -46,8 +81,7 @@ std::vector<NodeId> pick_nodes(Rng& rng, const FailureScenarioConfig& cfg,
           " nodes under the disjointness/buddy constraints (num_nodes = " +
           std::to_string(num_nodes) + ")");
     }
-    const NodeId c =
-        static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(num_nodes)));
+    const NodeId c = draw_node(rng, num_nodes, weights);
     if (std::find(taken.begin(), taken.end(), c) != taken.end()) continue;
     if (pairs_with(c, taken, cfg.forbid_pair_shift, num_nodes)) continue;
     picked.push_back(c);
@@ -81,10 +115,11 @@ int draw_psi(Rng& rng, const FailureScenarioConfig& cfg) {
 }
 
 /// One node set, failing `count` times at distinct iterations in [lo, hi].
-void gen_correlated(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
+void gen_correlated(Rng& rng, const FailureScenarioConfig& cfg,
+                    const std::vector<double>& weights, int num_nodes,
                     int count, int lo, int hi, FailureSchedule& out) {
   const std::vector<NodeId> set =
-      pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+      pick_nodes(rng, cfg, weights, num_nodes, draw_psi(rng, cfg), {});
   for (const int j : pick_iterations(rng, count, lo, hi)) {
     FailureEvent ev;
     ev.iteration = j;
@@ -95,7 +130,8 @@ void gen_correlated(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
 
 /// `count` independent failures at distinct iterations inside a window of
 /// cfg.window iterations placed uniformly in [lo, hi].
-void gen_cascading(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
+void gen_cascading(Rng& rng, const FailureScenarioConfig& cfg,
+                   const std::vector<double>& weights, int num_nodes,
                    int count, int lo, int hi, FailureSchedule& out) {
   const int span = std::min(cfg.window, hi - lo + 1);
   if (span < count) {
@@ -108,7 +144,7 @@ void gen_cascading(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
   for (const int j : pick_iterations(rng, count, start, start + span - 1)) {
     FailureEvent ev;
     ev.iteration = j;
-    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+    ev.nodes = pick_nodes(rng, cfg, weights, num_nodes, draw_psi(rng, cfg), {});
     out.add(std::move(ev));
   }
 }
@@ -117,36 +153,50 @@ void gen_cascading(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
 /// the first is an ordinary failure, every follower strikes during the
 /// recovery of the union so far.
 void gen_during_recovery(Rng& rng, const FailureScenarioConfig& cfg,
-                         int num_nodes, int count, int lo, int hi,
-                         FailureSchedule& out) {
+                         const std::vector<double>& weights, int num_nodes,
+                         int count, int lo, int hi, FailureSchedule& out) {
   const int j = lo + static_cast<int>(rng.uniform_index(
                          static_cast<std::uint64_t>(hi - lo + 1)));
   std::vector<NodeId> episode;
   for (int k = 0; k < count; ++k) {
     FailureEvent ev;
     ev.iteration = j;
-    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), episode);
+    ev.nodes =
+        pick_nodes(rng, cfg, weights, num_nodes, draw_psi(rng, cfg), episode);
     ev.during_recovery = k > 0;
     episode.insert(episode.end(), ev.nodes.begin(), ev.nodes.end());
     out.add(std::move(ev));
   }
 }
 
-/// `count` independent failures at iterations spaced by Exp(cfg.rate)
-/// inter-arrival gaps, each rounded up to land on a whole iteration at
-/// least one past its predecessor (two arrivals inside one iteration merge
-/// into the later one's slot by the +1 floor — the discrete-time reading of
-/// a memoryless process).
-void gen_exponential(Rng& rng, const FailureScenarioConfig& cfg, int num_nodes,
-                     int count, FailureSchedule& out) {
+/// One Weibull(shape, 1/rate) inter-arrival gap: (-ln u)^(1/shape) / rate,
+/// with rng.exponential's guard against log(0). shape = 1 makes the power a
+/// no-op (IEEE pow(x, 1) = x), so the stream is bit-identical to
+/// rng.exponential(rate) — the property test locks this in.
+double weibull_gap(Rng& rng, double rate, double shape) {
+  double u = rng.uniform();
+  while (u <= 1e-300) u = rng.uniform();
+  return std::pow(-std::log(u), 1.0 / shape) / rate;
+}
+
+/// `count` independent failures at iterations spaced by Exp(cfg.rate) (or,
+/// for kWeibull, Weibull(shape, 1/rate)) inter-arrival gaps, each rounded
+/// up to land on a whole iteration at least one past its predecessor (two
+/// arrivals inside one iteration merge into the later one's slot by the +1
+/// floor — the discrete-time reading of a memoryless process).
+void gen_interarrival(Rng& rng, const FailureScenarioConfig& cfg,
+                      const std::vector<double>& weights, int num_nodes,
+                      int count, FailureSchedule& out) {
   double t = 0.0;
   int prev = 0;
   for (int k = 0; k < count; ++k) {
-    t += rng.exponential(cfg.rate);
+    t += cfg.kind == ScenarioKind::kWeibull
+             ? weibull_gap(rng, cfg.rate, cfg.weibull_shape)
+             : rng.exponential(cfg.rate);
     const int j = std::max(prev + 1, static_cast<int>(std::ceil(t)));
     FailureEvent ev;
     ev.iteration = j;
-    ev.nodes = pick_nodes(rng, cfg, num_nodes, draw_psi(rng, cfg), {});
+    ev.nodes = pick_nodes(rng, cfg, weights, num_nodes, draw_psi(rng, cfg), {});
     out.add(std::move(ev));
     prev = j;
   }
@@ -160,9 +210,15 @@ void validate(const FailureScenarioConfig& cfg, int num_nodes) {
   if (cfg.max_nodes_per_event < 1) bad("max_nodes_per_event must be >= 1");
   if (cfg.forbid_pair_shift < 0 || cfg.forbid_pair_shift >= num_nodes)
     bad("forbid_pair_shift must be in [0, num_nodes)");
-  if (cfg.kind == ScenarioKind::kExponential &&
+  if ((cfg.kind == ScenarioKind::kExponential ||
+       cfg.kind == ScenarioKind::kWeibull) &&
       !(cfg.rate > 0.0 && std::isfinite(cfg.rate)))
-    bad("exponential needs a finite rate > 0");
+    bad(to_string(cfg.kind) + " needs a finite rate > 0");
+  if (cfg.kind == ScenarioKind::kWeibull &&
+      !(cfg.weibull_shape > 0.0 && std::isfinite(cfg.weibull_shape)))
+    bad("weibull needs a finite shape > 0");
+  if (!(cfg.node_rate_spread >= 0.0) || !std::isfinite(cfg.node_rate_spread))
+    bad("node_rate_spread must be finite and >= 0");
   // Every episode needs at least one survivor to detect the failure and to
   // hold redundant state; during-recovery chains accumulate the whole
   // episode before anything is recovered.
@@ -187,31 +243,36 @@ FailureSchedule generate_scenario(const FailureScenarioConfig& cfg,
   FailureSchedule out;
   if (cfg.kind == ScenarioKind::kNone) return out;
   validate(cfg, num_nodes);
+  const std::vector<double> weights = node_weight_prefix(cfg, num_nodes);
   Rng rng(cfg.seed ^ 0xC5CADE5CEA110ULL);
   switch (cfg.kind) {
     case ScenarioKind::kNone:
       break;
     case ScenarioKind::kCorrelated:
-      gen_correlated(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon, out);
+      gen_correlated(rng, cfg, weights, num_nodes, cfg.events, 1, cfg.horizon,
+                     out);
       break;
     case ScenarioKind::kCascading:
-      gen_cascading(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon, out);
+      gen_cascading(rng, cfg, weights, num_nodes, cfg.events, 1, cfg.horizon,
+                    out);
       break;
     case ScenarioKind::kDuringRecovery:
-      gen_during_recovery(rng, cfg, num_nodes, cfg.events, 1, cfg.horizon,
-                          out);
+      gen_during_recovery(rng, cfg, weights, num_nodes, cfg.events, 1,
+                          cfg.horizon, out);
       break;
     case ScenarioKind::kExponential:
-      gen_exponential(rng, cfg, num_nodes, cfg.events, out);
+    case ScenarioKind::kWeibull:
+      gen_interarrival(rng, cfg, weights, num_nodes, cfg.events, out);
       break;
     case ScenarioKind::kMixed: {
       // One episode of each class in disjoint thirds of [1, horizon], so no
       // cross-class events ever merge at one iteration.
       const int h1 = cfg.horizon / 3;
       const int h2 = 2 * cfg.horizon / 3;
-      gen_correlated(rng, cfg, num_nodes, 2, 1, h1, out);
-      gen_cascading(rng, cfg, num_nodes, 2, h1 + 1, h2, out);
-      gen_during_recovery(rng, cfg, num_nodes, 2, h2 + 1, cfg.horizon, out);
+      gen_correlated(rng, cfg, weights, num_nodes, 2, 1, h1, out);
+      gen_cascading(rng, cfg, weights, num_nodes, 2, h1 + 1, h2, out);
+      gen_during_recovery(rng, cfg, weights, num_nodes, 2, h2 + 1,
+                          cfg.horizon, out);
       break;
     }
   }

@@ -18,6 +18,15 @@
 //   exponential      a memoryless failure process: inter-arrival gaps drawn
 //                    from Exp(rate) failures/iteration — the classic MTBF
 //                    model resilience papers size their overhead against
+//   weibull          inter-arrival gaps drawn from Weibull(shape, 1/rate):
+//                    shape < 1 models infant-mortality bursts, shape > 1
+//                    wear-out clustering, shape = 1 reduces bit-exactly to
+//                    the exponential process above
+//
+// Orthogonally, `node_rate_spread` skews *which* nodes fail: each node gets
+// a seeded weight in [1, 1 + spread] and victims are drawn proportionally —
+// the "one flaky rack" pattern — instead of uniformly (spread = 0 keeps the
+// historical uniform draw bit-for-bit).
 //
 // Generation is bit-deterministic in (config, num_nodes): the same seed
 // yields the same schedule on every platform (util/rng.hpp), which is what
@@ -42,18 +51,20 @@ enum class ScenarioKind {
   kDuringRecovery,  ///< overlapping-failure chain at one iteration
   kMixed,           ///< one episode of each, in disjoint ranges
   kExponential,     ///< Exp(rate) inter-arrival gaps (memoryless MTBF)
+  kWeibull,         ///< Weibull(shape, 1/rate) gaps (aging/infant mortality)
 };
 
 template <>
 struct EnumNames<ScenarioKind> {
   static constexpr const char* context = "scenario kind";
-  static constexpr std::array<std::pair<ScenarioKind, const char*>, 6> table{
+  static constexpr std::array<std::pair<ScenarioKind, const char*>, 7> table{
       {{ScenarioKind::kNone, "none"},
        {ScenarioKind::kCorrelated, "correlated"},
        {ScenarioKind::kCascading, "cascading"},
        {ScenarioKind::kDuringRecovery, "during-recovery"},
        {ScenarioKind::kMixed, "mixed"},
-       {ScenarioKind::kExponential, "exponential"}}};
+       {ScenarioKind::kExponential, "exponential"},
+       {ScenarioKind::kWeibull, "weibull"}}};
 };
 
 [[nodiscard]] std::string to_string(ScenarioKind k);
@@ -76,11 +87,22 @@ struct FailureScenarioConfig {
   /// (i + shift) mod num_nodes — the constraint under which twin-pcg's
   /// buddy redundancy (shift = num_nodes / 2) stays recoverable.
   int forbid_pair_shift = 0;
-  /// kExponential only: expected failures per iteration (> 0). Inter-arrival
-  /// gaps are Exp(rate) deviates, cumulated and rounded up to the next whole
-  /// iteration; `events` arrivals are generated (the horizon does not clip
-  /// them — a rate sweep keeps its event count).
+  /// kExponential/kWeibull: expected failures per iteration (> 0).
+  /// Inter-arrival gaps are Exp(rate) (or Weibull with scale 1/rate)
+  /// deviates, cumulated and rounded up to the next whole iteration;
+  /// `events` arrivals are generated (the horizon does not clip them — a
+  /// rate sweep keeps its event count).
   double rate = 0.05;
+  /// kWeibull only: the Weibull shape k (> 0). Gaps are
+  /// (1/rate) * (-ln u)^(1/k), so k = 1 reproduces kExponential's stream
+  /// bit-for-bit; k < 1 front-loads failures (infant mortality), k > 1
+  /// clusters them late (wear-out).
+  double weibull_shape = 1.0;
+  /// Per-node failure-rate skew (>= 0). When > 0, node i draws a seeded
+  /// weight w_i in [1, 1 + spread] and every victim pick is
+  /// weight-proportional instead of uniform; 0 keeps the historical uniform
+  /// draw bit-for-bit. Applies to every scenario kind.
+  double node_rate_spread = 0.0;
 };
 
 /// Generates the schedule for the configured scenario. Deterministic in

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/errors.hpp"
 #include "sim/collectives.hpp"
 #include "util/check.hpp"
 
@@ -202,7 +203,9 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
 
   for (int j = 0; j < opts_.max_iterations; ++j) {
     const double rho = dot(cluster_, r0, r, it);
-    RPCG_REQUIRE(std::abs(rho) > 1e-300, "BiCGSTAB breakdown: rho ~ 0");
+    if (!(std::abs(rho) > 1e-300)) {
+      throw DivergenceError("BiCGSTAB breakdown: rho ~ 0");
+    }
     if (j == 0) {
       copy(cluster_, r, p, it);
     } else {
@@ -221,7 +224,9 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     }
 
     const double r0v = dot(cluster_, r0, v, it);
-    RPCG_REQUIRE(std::abs(r0v) > 1e-300, "BiCGSTAB breakdown: r̂0·v ~ 0");
+    if (!(std::abs(r0v) > 1e-300)) {
+      throw DivergenceError("BiCGSTAB breakdown: r̂0·v ~ 0");
+    }
     alpha = rho / r0v;
 
     // s = r - alpha v
@@ -260,7 +265,9 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
     }
 
     const DotPair ts = dot_pair(cluster_, t, s, it);  // t·s and ||t||²
-    RPCG_REQUIRE(ts.rr > 0.0, "BiCGSTAB breakdown: ||t|| = 0");
+    if (!(ts.rr > 0.0)) {
+      throw DivergenceError("BiCGSTAB breakdown: ||t|| = 0");
+    }
     omega = ts.rz / ts.rr;
 
     // x += alpha p̂ + omega ŝ ;  r = s - omega t
@@ -285,7 +292,9 @@ BicgstabResult ResilientBicgstab::solve(const DistVector& b, DistVector& x,
       res.converged = true;
       break;
     }
-    RPCG_REQUIRE(std::abs(omega) > 1e-300, "BiCGSTAB breakdown: omega ~ 0");
+    if (!(std::abs(omega) > 1e-300)) {
+      throw DivergenceError("BiCGSTAB breakdown: omega ~ 0");
+    }
   }
 
   {

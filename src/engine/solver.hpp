@@ -38,6 +38,15 @@ struct SolverConfig {
   double rtol = 1e-8;
   int max_iterations = 100000;
 
+  /// Simulated-time deadline in seconds; 0 disables. Enforced cooperatively
+  /// by the registry adapters: the on_iteration hook checks the cluster
+  /// clock after every completed iteration and throws BudgetExceeded
+  /// (core/errors.hpp) the first time total simulated time passes the
+  /// deadline (the hook-less reference "pcg" checks once after the run).
+  /// Deterministic — the clock is simulated, so the same job misses or
+  /// makes its deadline identically on every host and worker count.
+  double deadline_sim_seconds = 0.0;
+
   /// Recovery method of the resilient PCG engine ("none", "esr",
   /// "checkpoint-restart", "interpolation-restart").
   RecoveryMethod recovery = RecoveryMethod::kNone;
@@ -100,13 +109,13 @@ struct SolverConfig {
   /// "pcg" solver supports no hooks (it exists as the bit-for-bit baseline).
   SolverEvents events;
 
-  /// Reads --rtol, --max-iterations, --recovery, --phi, --strategy,
-  /// --strategy-seed, --local-rtol, --checkpoint-interval,
+  /// Reads --rtol, --max-iterations, --deadline, --recovery, --phi,
+  /// --strategy, --strategy-seed, --local-rtol, --checkpoint-interval,
   /// --checkpoint-medium, --checkpoint-write-cost, --checkpoint-read-cost,
   /// --checkpoint-latency, --report-checkpoint, --scenario,
   /// --scenario-seed, --scenario-events, --scenario-nodes,
   /// --scenario-horizon, --scenario-window, --scenario-rate,
-  /// --report-scenario,
+  /// --scenario-shape, --scenario-node-spread, --report-scenario,
   /// --stationary-method, --omega, --pipeline-depth, --exec, --workers,
   /// --factorization-cache, --report-cache-stats. Unknown enum names throw
   /// std::invalid_argument listing the valid keys.

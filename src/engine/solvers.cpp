@@ -7,8 +7,10 @@
 // adapter + one register_solver() line here — nothing else in the repo
 // needs to know about it.
 #include <memory>
+#include <string>
 
 #include "core/checkpoint_recovery.hpp"
+#include "core/errors.hpp"
 #include "core/failure_scenario.hpp"
 #include "core/pipelined_pcg.hpp"
 #include "core/resilient_bicgstab.hpp"
@@ -61,6 +63,48 @@ void attach_cache_stats(SolveReport& rep, Problem& problem,
   rep.report_cache_stats = true;
 }
 
+/// Renders the deadline-miss message once, so the hook-based and post-run
+/// enforcement paths cannot drift apart on wording.
+std::string deadline_message(double deadline, double clock_total,
+                             int iterations) {
+  return "simulated-time deadline exceeded: clock at " +
+         std::to_string(clock_total) + "s > " + std::to_string(deadline) +
+         "s after " + std::to_string(iterations) + " iteration(s)";
+}
+
+/// Layers the config's simulated-time deadline over its event hooks: the
+/// wrapped on_iteration throws BudgetExceeded the first time the cluster
+/// clock passes the deadline. Cooperative — checked between iterations, so
+/// the engines need no deadline knowledge — and deterministic, because the
+/// clock is simulated time, not wall time. The returned bundle captures
+/// `cluster` by reference; it must not outlive the adapter's solve call.
+SolverEvents deadline_events(const SolverConfig& config, Cluster& cluster) {
+  if (config.deadline_sim_seconds <= 0.0) return config.events;
+  SolverEvents events = config.events;
+  events.on_iteration = [inner = config.events.on_iteration, &cluster,
+                         deadline = config.deadline_sim_seconds](
+                            const IterationSnapshot& snap) {
+    if (inner) inner(snap);
+    const double total = cluster.clock().total();
+    if (total > deadline) {
+      throw BudgetExceeded(deadline_message(deadline, total, snap.iteration));
+    }
+  };
+  return events;
+}
+
+/// Post-run deadline check for the hook-less reference "pcg": same outcome
+/// class as the cooperative path, minus the early abort.
+void enforce_deadline(const SolverConfig& config, const Cluster& cluster,
+                      int iterations) {
+  const double deadline = config.deadline_sim_seconds;
+  if (deadline <= 0.0) return;
+  const double total = cluster.clock().total();
+  if (total > deadline) {
+    throw BudgetExceeded(deadline_message(deadline, total, iterations));
+  }
+}
+
 /// The schedule a resilient solve actually runs: an explicit schedule wins;
 /// otherwise a configured scenario generates one for this cluster size.
 /// `forbid_pair_shift` lets a family overlay its own coverage constraint
@@ -111,6 +155,7 @@ class PcgSolver final : public Solver {
     const PcgResult res = pcg_solve(cluster, problem.matrix(),
                                     problem.preconditioner(), problem.rhs(), x,
                                     opts);
+    enforce_deadline(config_, cluster, res.iterations);
     SolveReport rep = make_report(name(), problem.preconditioner_name(), res);
     rep.reductions = cluster.reduction_times();
     return rep;
@@ -141,7 +186,7 @@ class ResilientPcgSolver final : public Solver {
     opts.esr = config_.esr;
     wire_esr_cache(opts.esr, problem, config_);
     opts.checkpoint_interval = config_.checkpoint_interval;
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     ResilientPcg engine(cluster, problem.matrix_global(), problem.matrix(),
                         problem.preconditioner(), opts);
     const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
@@ -202,7 +247,7 @@ class PipelinedSolver final : public Solver {
       opts.esr = config_.esr;
       wire_esr_cache(opts.esr, problem, config_);
     }
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     PipelinedPcg engine(cluster, problem.matrix_global(), problem.matrix(),
                         problem.preconditioner(), opts);
     const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
@@ -244,7 +289,7 @@ class BicgstabSolver final : public Solver {
     opts.strategy_seed = config_.strategy_seed;
     opts.esr = config_.esr;
     wire_esr_cache(opts.esr, problem, config_);
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     ResilientBicgstab engine(cluster, problem.matrix_global(), problem.matrix(),
                              problem.preconditioner(), opts);
     SolveReport rep = make_report(name(), problem.preconditioner_name(),
@@ -282,7 +327,7 @@ class CheckpointRecoverySolver final : public Solver {
     opts.pcg.max_iterations = config_.max_iterations;
     opts.interval = config_.checkpoint_interval;
     opts.costs = config_.checkpoint;
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     CheckpointRecoveryPcg engine(cluster, problem.matrix_global(),
                                  problem.matrix(), problem.preconditioner(),
                                  opts);
@@ -324,7 +369,7 @@ class TwinPcgSolver final : public Solver {
     TwinPcgOptions opts;
     opts.pcg.rtol = config_.rtol;
     opts.pcg.max_iterations = config_.max_iterations;
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     TwinPcg engine(cluster, problem.matrix_global(), problem.matrix(),
                    problem.preconditioner(), opts);
     const ResilientPcgResult res = engine.solve(problem.rhs(), x, sched);
@@ -359,7 +404,7 @@ class StationarySolver final : public Solver {
     opts.phi = config_.phi;
     opts.strategy = config_.strategy;
     opts.strategy_seed = config_.strategy_seed;
-    opts.events = config_.events;
+    opts.events = deadline_events(config_, cluster);
     ResilientStationary engine(cluster, problem.matrix_global(),
                                problem.matrix(), opts);
     // The stationary family ignores the Problem's preconditioner ("none");
@@ -383,6 +428,8 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   c.rtol = o.get_double("rtol", c.rtol);
   c.max_iterations =
       static_cast<int>(o.get_int("max-iterations", c.max_iterations));
+  c.deadline_sim_seconds =
+      o.get_double("deadline", c.deadline_sim_seconds);
   c.recovery = o.get_enum<RecoveryMethod>("recovery", c.recovery);
   c.phi = static_cast<int>(o.get_int("phi", c.phi));
   c.strategy = o.get_enum<BackupStrategy>("strategy", c.strategy);
@@ -412,6 +459,10 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   c.scenario.window =
       static_cast<int>(o.get_int("scenario-window", c.scenario.window));
   c.scenario.rate = o.get_double("scenario-rate", c.scenario.rate);
+  c.scenario.weibull_shape =
+      o.get_double("scenario-shape", c.scenario.weibull_shape);
+  c.scenario.node_rate_spread =
+      o.get_double("scenario-node-spread", c.scenario.node_rate_spread);
   c.report_scenario = o.get_bool("report-scenario", c.report_scenario);
   c.stationary_method =
       o.get_enum<StationaryMethod>("stationary-method", c.stationary_method);

@@ -1,0 +1,38 @@
+#include "service/fault_injection.hpp"
+
+#include "util/rng.hpp"
+
+namespace rpcg::service {
+
+namespace {
+
+constexpr std::uint64_t kWorkerSalt = 0x0F0F1E57FA117ULL;
+constexpr std::uint64_t kCacheSalt = 0xCAC4EBADB111D5ULL;
+
+}  // namespace
+
+double FaultInjector::draw(std::size_t job, int attempt,
+                           std::uint64_t salt) const {
+  // One fresh splitmix64-seeded stream per decision: the mixing constants
+  // keep (job, attempt) pairs from colliding, and taking the first deviate
+  // of a dedicated stream makes the decision order-free.
+  Rng rng(config_.seed ^ (static_cast<std::uint64_t>(job) * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<std::uint64_t>(attempt) * 0xD1B54A32D192ED03ULL) ^ salt);
+  return rng.uniform();
+}
+
+bool FaultInjector::worker_fault(std::size_t job, int attempt) const {
+  if (!config_.enabled) return false;
+  if (attempt <= config_.worker_fail_first_attempts) return true;
+  return config_.worker_fault_rate > 0.0 &&
+         draw(job, attempt, kWorkerSalt) < config_.worker_fault_rate;
+}
+
+bool FaultInjector::cache_build_fault(std::size_t job, int attempt) const {
+  if (!config_.enabled) return false;
+  if (attempt <= config_.cache_fail_first_attempts) return true;
+  return config_.cache_build_failure_rate > 0.0 &&
+         draw(job, attempt, kCacheSalt) < config_.cache_build_failure_rate;
+}
+
+}  // namespace rpcg::service

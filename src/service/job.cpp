@@ -18,7 +18,8 @@ namespace {
 // synthesized "--key=value" options — one spelling for job files, CLI
 // flags, and bench command lines.
 constexpr const char* kConfigKeys[] = {
-    "rtol",           "max-iterations",  "recovery",
+    "rtol",           "max-iterations",  "deadline",
+    "recovery",
     "phi",            "strategy",        "strategy-seed",
     "local-rtol",     "checkpoint-interval", "stationary-method",
     "omega",          "exec",            "workers",
@@ -27,13 +28,16 @@ constexpr const char* kConfigKeys[] = {
     "checkpoint-read-cost", "checkpoint-latency", "report-checkpoint",
     "scenario",       "scenario-seed",   "scenario-events",
     "scenario-nodes", "scenario-horizon", "scenario-window",
-    "scenario-rate",  "report-scenario", "pipeline-depth",
+    "scenario-rate",  "scenario-shape",  "scenario-node-spread",
+    "report-scenario", "pipeline-depth",
 };
 
 // Keys the job parser consumes directly.
 constexpr const char* kJobKeys[] = {
     "name", "matrix", "scale", "nodes", "solver",
     "precond", "rhs", "noise", "noise-seed", "failures",
+    "retry", "fallbacks", "retry-backoff", "retry-backoff-multiplier",
+    "retry-seed-bump",
 };
 
 [[nodiscard]] bool is_config_key(const std::string& key) {
@@ -139,6 +143,24 @@ constexpr const char* kJobKeys[] = {
   }
 }
 
+/// "fallbacks": ["a", "b"] or the comma-separated shorthand "a,b".
+[[nodiscard]] std::vector<std::string> parse_fallbacks(const JsonValue& v) {
+  std::vector<std::string> out;
+  if (v.is_string()) {
+    std::stringstream ss(v.as_string());
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+      const auto b = part.find_first_not_of(" \t");
+      const auto e = part.find_last_not_of(" \t");
+      if (b != std::string::npos) out.push_back(part.substr(b, e - b + 1));
+    }
+  } else {
+    for (const JsonValue& s : v.as_array()) out.push_back(s.as_string());
+  }
+  if (out.empty()) fail("fallbacks must name at least one solver");
+  return out;
+}
+
 [[nodiscard]] std::string valid_keys_message() {
   std::string msg = "valid keys:";
   for (const char* k : kJobKeys) {
@@ -186,6 +208,23 @@ JobSpec parse_job(const JsonValue& value) {
       spec.noise_seed = static_cast<std::uint64_t>(member.as_number());
     } else if (key == "failures") {
       spec.schedule = parse_failures(member);
+    } else if (key == "retry") {
+      spec.retry.max_attempts = as_int(member, "retry");
+      if (spec.retry.max_attempts < 1) fail("retry must be >= 1");
+    } else if (key == "fallbacks") {
+      spec.retry.fallbacks = parse_fallbacks(member);
+    } else if (key == "retry-backoff") {
+      spec.retry.backoff_sim_seconds = member.as_number();
+      if (spec.retry.backoff_sim_seconds < 0.0) {
+        fail("retry-backoff must be >= 0");
+      }
+    } else if (key == "retry-backoff-multiplier") {
+      spec.retry.backoff_multiplier = member.as_number();
+      if (!(spec.retry.backoff_multiplier >= 1.0)) {
+        fail("retry-backoff-multiplier must be >= 1");
+      }
+    } else if (key == "retry-seed-bump") {
+      spec.retry.seed_bump = static_cast<std::uint64_t>(member.as_number());
     } else if (is_config_key(key)) {
       config_args.push_back("--" + key + "=" + scalar_to_option(member, key));
     } else {

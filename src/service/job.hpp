@@ -22,6 +22,10 @@
 // Solver-config keys (rtol, recovery, phi, strategy, exec, workers, ...)
 // are forwarded through SolverConfig::from_options, so the job file and the
 // bench command lines can never drift apart on spellings or semantics.
+// Robustness keys ("retry", "fallbacks": ["solver", ...] or "a,b",
+// "retry-backoff", "retry-backoff-multiplier", "retry-seed-bump") fill the
+// job's RetryPolicy; "deadline" (simulated seconds) rides through the
+// config keys.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +37,7 @@
 #include "core/failure_schedule.hpp"
 #include "engine/solver.hpp"
 #include "service/json_value.hpp"
+#include "service/retry.hpp"
 
 namespace rpcg::service {
 
@@ -48,6 +53,9 @@ struct JobSpec {
   std::uint64_t noise_seed = 0;
   engine::SolverConfig config;
   FailureSchedule schedule;
+  /// Per-job retry/escalation policy; when disabled the batch default
+  /// (ServiceOptions::retry) applies.
+  RetryPolicy retry;
 
   /// "M<index>" — the repro matrix id this job solves.
   [[nodiscard]] std::string matrix_id() const {

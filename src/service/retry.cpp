@@ -1,0 +1,26 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace rpcg::service {
+
+int RetryPolicy::attempts() const {
+  return std::max({max_attempts, 1 + static_cast<int>(fallbacks.size()), 1});
+}
+
+const std::string& RetryPolicy::solver_for_attempt(
+    const std::string& job_solver, int attempt) const {
+  if (attempt <= 1 || fallbacks.empty()) return job_solver;
+  const std::size_t idx = std::min(static_cast<std::size_t>(attempt - 2),
+                                   fallbacks.size() - 1);
+  return fallbacks[idx];
+}
+
+double RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 1 || backoff_sim_seconds <= 0.0) return 0.0;
+  return backoff_sim_seconds * std::pow(backoff_multiplier, attempt - 2);
+}
+
+}  // namespace rpcg::service

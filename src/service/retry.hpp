@@ -1,0 +1,54 @@
+// Declarative retry-with-escalation policy of the SolverService.
+//
+// A job (or the whole batch, via ServiceOptions::retry) declares how many
+// attempts it gets and which solvers to escalate through. Attempt 1 runs
+// the job's own solver; attempt k > 1 runs fallbacks[k - 2] (the last
+// fallback repeats once the chain is exhausted). A generated scenario is
+// re-drawn deterministically on every re-attempt by bumping its seed, and
+// an exponential backoff is charged — in *simulated* seconds, recorded in
+// the attempt block, never on the engine clock (the service layer stays off
+// the sim clock by lint rule) — so retried batches remain bit-deterministic
+// across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcg::service {
+
+struct RetryPolicy {
+  /// Total attempts including the first; the escalation chain extends this
+  /// to at least 1 + fallbacks.size().
+  int max_attempts = 1;
+  /// Solver registry keys to escalate through after the first attempt
+  /// (e.g. {"pipelined-resilient-pcg", "checkpoint-recovery"}).
+  std::vector<std::string> fallbacks;
+  /// Scenario-seed increment per re-attempt: attempt k runs the job's
+  /// scenario with seed + seed_bump * (k - 1), re-drawing the failure
+  /// pattern deterministically.
+  std::uint64_t seed_bump = 1;
+  /// Base simulated backoff before attempt 2; attempt k waits
+  /// backoff_sim_seconds * backoff_multiplier^(k - 2).
+  double backoff_sim_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+
+  [[nodiscard]] bool enabled() const {
+    return max_attempts > 1 || !fallbacks.empty();
+  }
+
+  /// Attempts this policy grants in total (>= 1).
+  [[nodiscard]] int attempts() const;
+
+  /// Solver for 1-based attempt `attempt`: the job's own solver first, then
+  /// the fallback chain (its last entry repeating).
+  [[nodiscard]] const std::string& solver_for_attempt(
+      const std::string& job_solver, int attempt) const;
+
+  /// Simulated backoff charged to the attempt record before 1-based attempt
+  /// `attempt` (0 for the first attempt). Pure arithmetic in the policy and
+  /// the attempt index — deterministic by construction.
+  [[nodiscard]] double backoff_before(int attempt) const;
+};
+
+}  // namespace rpcg::service

@@ -1,8 +1,10 @@
 #include "service/shared_cache.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "core/errors.hpp"
 #include "util/check.hpp"
 
 namespace rpcg::service {
@@ -49,21 +51,34 @@ FactorizationCache::EntryPtr SharedFactorizationCache::get_or_build(
   // This thread claimed the slot: build outside the lock — factorization is
   // the expensive part and must not serialize the whole service — then
   // publish through the promise so every coalesced waiter wakes with it.
+  // A build failure is wrapped into the typed CacheBuildFailure with the
+  // original message preserved, published to every coalesced waiter, and
+  // the poisoned slot is withdrawn so the next request retries the build
+  // instead of rethrowing forever (the claim tick guards against erasing a
+  // successor's slot if eviction already removed ours).
   try {
     FactorizationCache::EntryPtr entry =
         std::make_shared<const FactorizationCache::Entry>(build());
     promise.set_value(entry);
     return entry;
+  } catch (const std::exception& e) {
+    const CacheBuildFailure wrapped(
+        "shared-cache factorization build failed: " + std::string(e.what()));
+    promise.set_exception(std::make_exception_ptr(wrapped));
+    withdraw_slot(key, claim);
+    throw wrapped;
   } catch (...) {
     promise.set_exception(std::current_exception());
-    // Withdraw the poisoned slot so the next request retries the build
-    // instead of rethrowing forever; the claim tick guards against erasing
-    // a successor's slot if eviction already removed ours.
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.claim == claim) entries_.erase(it);
+    withdraw_slot(key, claim);
     throw;
   }
+}
+
+void SharedFactorizationCache::withdraw_slot(const Key& key,
+                                             std::uint64_t claim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.claim == claim) entries_.erase(it);
 }
 
 void SharedFactorizationCache::evict_locked() {

@@ -64,8 +64,10 @@ class SharedFactorizationCache {
   /// concurrent requests for one key are coalesced: the first requester
   /// builds while the rest block on its result instead of duplicating the
   /// factorization (the whole point of sharing on an oversubscribed host).
-  /// If the build throws, the slot is withdrawn — concurrent waiters see
-  /// the builder's exception, later callers retry from scratch.
+  /// If the build throws, the slot is withdrawn and the failure surfaces as
+  /// a typed CacheBuildFailure (core/errors.hpp) carrying the original
+  /// message — to the builder and to every coalesced waiter alike; later
+  /// callers retry from scratch.
   [[nodiscard]] FactorizationCache::EntryPtr get_or_build(
       std::string_view tag, const FactorizationCache::MatrixKey& matrix,
       std::string_view ordering, std::span<const NodeId> nodes,
@@ -101,6 +103,8 @@ class SharedFactorizationCache {
   };
 
   void evict_locked();
+  /// Removes the poisoned slot a failed build claimed (claim-tick guarded).
+  void withdraw_slot(const Key& key, std::uint64_t claim);
 
   mutable std::mutex mu_;
   std::size_t capacity_;

@@ -5,6 +5,7 @@
 #include <future>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "engine/registry.hpp"
@@ -25,10 +26,87 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Builds the Problem, runs the solver, and folds any failure into
-/// JobResult::error — one broken job must never take the batch down.
+/// Batch-level robustness knobs threaded into every job task.
+struct RunContext {
+  const RetryPolicy* default_retry = nullptr;
+  double default_deadline = 0.0;
+  const FaultInjector* injector = nullptr;  ///< null when injection is off
+  bool robust = false;  ///< record attempts + emit /v2 (batch-wide)
+  std::chrono::steady_clock::time_point t0;
+  double wall_timeout = 0.0;
+};
+
+/// Runs one attempt of one job; any exception propagates to the retry loop.
+/// `rec` is filled with what ran and (on success) how it ended.
+void run_attempt(const JobSpec& spec, std::size_t index, int attempt,
+                 const RetryPolicy& policy, double deadline,
+                 bool classify_budget, SharedFactorizationCache* shared,
+                 const FaultInjector* injector, JobResult& result,
+                 AttemptRecord& rec) {
+  engine::SolverConfig config = spec.config;
+  if (deadline > 0.0) config.deadline_sim_seconds = deadline;
+  if (config.scenario.kind != ScenarioKind::kNone && attempt > 1) {
+    // Deterministic re-draw: the same attempt always sees the same scenario,
+    // whatever the worker count or scheduling order.
+    config.scenario.seed =
+        spec.config.scenario.seed +
+        policy.seed_bump * static_cast<std::uint64_t>(attempt - 1);
+  }
+  rec.scenario_seed = config.scenario.seed;
+
+  if (injector != nullptr && injector->worker_fault(index, attempt)) {
+    throw SolverError(ErrorClass::kInternal,
+                      "injected worker-task fault (job " +
+                          std::to_string(index) + ", attempt " +
+                          std::to_string(attempt) + ")");
+  }
+  repro::ReproMatrix mat = repro::make_matrix(spec.matrix, spec.scale);
+  engine::Problem problem = engine::ProblemBuilder()
+                                .matrix(std::move(mat.matrix))
+                                .nodes(spec.nodes)
+                                .preconditioner(spec.precond)
+                                .rhs_strategy(spec.rhs)
+                                .noise(spec.noise_cv, spec.noise_seed)
+                                .build();
+  if (injector != nullptr && injector->cache_build_fault(index, attempt)) {
+    // The injected upstream fires on the first factorization lookup the
+    // attempt would have sent past its private cache.
+    problem.factorization_cache().set_upstream(
+        [index, attempt](std::string_view, const FactorizationCache::MatrixKey&,
+                         std::span<const NodeId>,
+                         const std::function<FactorizationCache::Entry()>&)
+            -> FactorizationCache::EntryPtr {
+          throw CacheBuildFailure("injected cache-build failure (job " +
+                                  std::to_string(index) + ", attempt " +
+                                  std::to_string(attempt) + ")");
+        });
+  } else if (shared != nullptr) {
+    problem.factorization_cache().set_upstream(shared->as_upstream());
+  }
+  const auto solver =
+      engine::SolverRegistry::instance().create(rec.solver, config);
+  DistVector x = problem.make_x();
+  result.report = solver->solve(problem, x, spec.schedule);
+  rec.iterations = result.report.iterations;
+  rec.sim_time = result.report.sim_time;
+  result.problem_cache = problem.factorization_cache().stats();
+  if (classify_budget && !result.report.converged &&
+      result.report.iterations >= config.max_iterations) {
+    // Without a retry policy a non-converged run is a plain "ok" report
+    // (status quo); under one, the spent iteration cap is a classified
+    // budget failure so the policy can escalate.
+    throw BudgetExceeded("iteration budget exhausted: " +
+                         std::to_string(result.report.iterations) + " of " +
+                         std::to_string(config.max_iterations) +
+                         " iterations without convergence");
+  }
+  rec.ok = true;
+}
+
+/// Runs the job's retry loop and folds any failure into JobResult::error —
+/// one broken job must never take the batch down.
 JobResult run_one(const JobSpec& spec, std::size_t index,
-                  SharedFactorizationCache* shared) {
+                  SharedFactorizationCache* shared, const RunContext& ctx) {
   JobResult result;
   result.index = index;
   if (spec.name.empty()) {
@@ -40,27 +118,48 @@ JobResult run_one(const JobSpec& spec, std::size_t index,
   result.matrix_id = spec.matrix_id();
   result.solver = spec.solver;
   result.precond = spec.precond;
+  result.robust = ctx.robust;
 
   const auto t0 = std::chrono::steady_clock::now();
-  try {
-    repro::ReproMatrix mat = repro::make_matrix(spec.matrix, spec.scale);
-    engine::Problem problem = engine::ProblemBuilder()
-                                  .matrix(std::move(mat.matrix))
-                                  .nodes(spec.nodes)
-                                  .preconditioner(spec.precond)
-                                  .rhs_strategy(spec.rhs)
-                                  .noise(spec.noise_cv, spec.noise_seed)
-                                  .build();
-    if (shared != nullptr) {
-      problem.factorization_cache().set_upstream(shared->as_upstream());
+  if (ctx.wall_timeout > 0.0 && seconds_since(ctx.t0) > ctx.wall_timeout) {
+    result.error_class = ErrorClass::kBudgetExceeded;
+    result.error = "batch wall-clock budget exhausted before job start";
+    result.wall_seconds = seconds_since(t0);
+    return result;
+  }
+
+  const RetryPolicy& policy =
+      spec.retry.enabled() ? spec.retry : *ctx.default_retry;
+  const double deadline = spec.config.deadline_sim_seconds > 0.0
+                              ? spec.config.deadline_sim_seconds
+                              : ctx.default_deadline;
+  // Budget reclassification is gated per job, so a plain job in a mixed
+  // batch keeps its status-quo "ran out of iterations, still ok" report.
+  const bool classify_budget =
+      policy.enabled() || deadline > 0.0 || ctx.injector != nullptr;
+
+  const int total_attempts = policy.attempts();
+  for (int attempt = 1; attempt <= total_attempts; ++attempt) {
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.solver = policy.solver_for_attempt(spec.solver, attempt);
+    rec.backoff_sim_seconds = policy.backoff_before(attempt);
+    try {
+      run_attempt(spec, index, attempt, policy, deadline, classify_budget,
+                  shared, ctx.injector, result, rec);
+      result.error.clear();
+      if (ctx.robust) result.attempts.push_back(std::move(rec));
+      break;
+    } catch (const std::exception& e) {
+      rec.ok = false;
+      rec.error = e.what();
+      rec.error_class = classify_exception(e);
+      result.error = rec.error;
+      result.error_class = rec.error_class;
+      const bool retryable = is_retryable(rec.error_class);
+      if (ctx.robust) result.attempts.push_back(std::move(rec));
+      if (!retryable) break;
     }
-    const auto solver =
-        engine::SolverRegistry::instance().create(spec.solver, spec.config);
-    DistVector x = problem.make_x();
-    result.report = solver->solve(problem, x, spec.schedule);
-    result.problem_cache = problem.factorization_cache().stats();
-  } catch (const std::exception& e) {
-    result.error = e.what();
   }
   result.wall_seconds = seconds_since(t0);
   return result;
@@ -91,6 +190,24 @@ ServiceReport SolverService::run(std::span<const JobSpec> jobs,
   SharedFactorizationCache* shared_ptr =
       options_.shared_cache ? &shared : nullptr;
 
+  bool robust = options_.retry.enabled() ||
+                options_.default_deadline_sim_seconds > 0.0 ||
+                options_.wall_timeout_seconds > 0.0 ||
+                options_.fault_injection.enabled;
+  for (const JobSpec& job : jobs) {
+    robust = robust || job.retry.enabled() ||
+             job.config.deadline_sim_seconds > 0.0;
+  }
+  summary.robust = robust;
+
+  const FaultInjector injector(options_.fault_injection);
+  RunContext ctx;
+  ctx.default_retry = &options_.retry;
+  ctx.default_deadline = options_.default_deadline_sim_seconds;
+  ctx.injector = options_.fault_injection.enabled ? &injector : nullptr;
+  ctx.robust = robust;
+  ctx.wall_timeout = options_.wall_timeout_seconds;
+
   // One mutex covers result storage, the in-flight bound, and the sink —
   // the sink is never entered concurrently with itself, and submission-
   // order flushing reads `done` under the same lock that wrote it.
@@ -105,6 +222,7 @@ ServiceReport SolverService::run(std::span<const JobSpec> jobs,
   emit.done.assign(jobs.size(), 0);
 
   const auto t0 = std::chrono::steady_clock::now();
+  ctx.t0 = t0;
 
   // Jobs run on a private pool; their inner threaded loops (if any) use the
   // disjoint shared pool. See the header's deadlock note.
@@ -123,8 +241,9 @@ ServiceReport SolverService::run(std::span<const JobSpec> jobs,
       }
       const JobSpec& spec = jobs[i];
       futures.push_back(pool.submit([&summary, &emit, &sink, &spec, i,
-                                     shared_ptr, order = options_.order] {
-        JobResult result = run_one(spec, i, shared_ptr);
+                                     shared_ptr, &ctx,
+                                     order = options_.order] {
+        JobResult result = run_one(spec, i, shared_ptr, ctx);
         {
           std::lock_guard<std::mutex> lock(emit.mu);
           summary.jobs[i] = std::move(result);
@@ -158,6 +277,21 @@ ServiceReport SolverService::run(std::span<const JobSpec> jobs,
     if (!options_.shared_cache) {
       summary.total_factorizations += job.problem_cache.misses;
     }
+    if (job.attempts.size() > 1) summary.retries += job.attempts.size() - 1;
+    for (const AttemptRecord& rec : job.attempts) {
+      if (rec.solver != job.solver) ++summary.escalations;
+      if (!rec.ok && rec.error_class == ErrorClass::kBudgetExceeded) {
+        ++summary.deadline_misses;
+      }
+    }
+    if (job.ok() && !job.attempts.empty() &&
+        job.attempts.back().solver != job.solver) {
+      ++summary.degraded;
+    }
+    if (job.attempts.empty() && !job.ok() &&
+        job.error_class == ErrorClass::kBudgetExceeded) {
+      ++summary.deadline_misses;  // cut off by the wall-clock budget
+    }
   }
   if (options_.shared_cache) {
     summary.total_factorizations = summary.shared_stats.misses;
@@ -169,6 +303,24 @@ ServiceReport SolverService::run(std::span<const JobSpec> jobs,
   return summary;
 }
 
+std::string AttemptRecord::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.open();
+  w.field("attempt", std::to_string(attempt));
+  w.field("solver", json_quote(solver));
+  w.field("scenario_seed", std::to_string(scenario_seed));
+  w.field("backoff_sim_seconds", json_double(backoff_sim_seconds));
+  w.field("status", json_quote(ok ? "ok" : "error"));
+  if (!ok) {
+    w.field("error_class", json_quote(rpcg::to_string(error_class)));
+    w.field("error", json_quote(error));
+  }
+  w.field("iterations", std::to_string(iterations));
+  w.field("sim_time", json_double(sim_time), false);
+  w.close("}", false);
+  return std::move(w).str();
+}
+
 std::string JobResult::to_json(int indent) const {
   JsonWriter w(indent);
   w.open();
@@ -178,14 +330,27 @@ std::string JobResult::to_json(int indent) const {
   w.field("solver", json_quote(solver));
   w.field("preconditioner", json_quote(precond));
   w.field("status", json_quote(ok() ? "ok" : "error"));
-  if (!ok()) w.field("error", json_quote(error));
+  if (!ok()) {
+    w.field("error", json_quote(error));
+    if (robust) w.field("error_class", json_quote(rpcg::to_string(error_class)));
+  }
   w.field("wall_seconds", json_double(wall_seconds));
+  const bool emit_attempts = robust && !attempts.empty();
   w.open_field("problem_cache", "{");
   w.field("hits", std::to_string(problem_cache.hits));
   w.field("misses", std::to_string(problem_cache.misses));
   w.field("invalidated", std::to_string(problem_cache.invalidated));
   w.field("entries", std::to_string(problem_cache.entries), false);
-  w.close("}", ok());
+  w.close("}", ok() || emit_attempts);
+  if (emit_attempts) {
+    w.open_field("attempts", "[");
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      w.raw(attempts[i].to_json(w.current_indent()).substr(
+                static_cast<std::size_t>(w.current_indent())),
+            i + 1 < attempts.size());
+    }
+    w.close("]", ok());
+  }
   if (ok()) w.embed_field("report", report.to_json(w.current_indent()), false);
   w.close("}", false);
   return std::move(w).str();
@@ -194,13 +359,20 @@ std::string JobResult::to_json(int indent) const {
 std::string ServiceReport::to_json(int indent) const {
   JsonWriter w(indent);
   w.open();
-  w.field("schema", json_quote("rpcg-service-report/v1"));
+  w.field("schema", json_quote(robust ? "rpcg-service-report/v2"
+                                      : "rpcg-service-report/v1"));
   w.field("workers", std::to_string(workers));
   w.field("order", json_quote(service::to_string(order)));
   w.field("shared_cache", json_bool(shared_cache));
   w.open_field("summary", "{");
   w.field("jobs", std::to_string(jobs.size()));
   w.field("failed", std::to_string(failed));
+  if (robust) {
+    w.field("retries", std::to_string(retries));
+    w.field("escalations", std::to_string(escalations));
+    w.field("degraded", std::to_string(degraded));
+    w.field("deadline_misses", std::to_string(deadline_misses));
+  }
   w.field("total_factorizations", std::to_string(total_factorizations));
   w.field("wall_seconds", json_double(wall_seconds));
   w.field("jobs_per_second", json_double(jobs_per_second), shared_cache);

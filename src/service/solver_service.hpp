@@ -21,6 +21,14 @@
 // reconstruction setups (same matrix content, same failed node set) are
 // factorized once per batch. Per-job reports are unaffected: upstream hits
 // change who builds, never what is charged.
+//
+// Fault tolerance: every job failure is classified into an ErrorClass
+// (core/errors.hpp) and a job (or the batch) may declare a RetryPolicy —
+// retry-with-escalation through a fallback solver chain, deterministic
+// scenario re-draws via seed bumps, simulated backoff. When any robustness
+// feature is active the report carries a per-attempt history and upgrades
+// its schema to `rpcg-service-report/v2`; a batch with everything off emits
+// `rpcg-service-report/v1` byte-identical to the pre-taxonomy service.
 #pragma once
 
 #include <array>
@@ -32,9 +40,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/factorization_cache.hpp"
 #include "engine/solve_report.hpp"
+#include "service/fault_injection.hpp"
 #include "service/job.hpp"
+#include "service/retry.hpp"
 #include "service/shared_cache.hpp"
 #include "util/enum_names.hpp"
 
@@ -75,6 +86,41 @@ struct ServiceOptions {
   std::size_t shared_cache_capacity =
       SharedFactorizationCache::kDefaultCapacity;
   OutputOrder order = OutputOrder::kSubmission;
+
+  /// Batch-wide retry/escalation default; a job whose own RetryPolicy is
+  /// enabled overrides it wholesale (policies never merge field-by-field).
+  RetryPolicy retry;
+  /// Simulated-time deadline applied to every job whose config leaves
+  /// deadline_sim_seconds at 0; 0 disables.
+  double default_deadline_sim_seconds = 0.0;
+  /// Cooperative wall-clock budget for the whole batch; 0 disables. Checked
+  /// when a job task starts: jobs past the budget are classified
+  /// budget-exceeded without running, so the batch still streams one result
+  /// per job (never a crash, never a hang). The check is wall-clock, so
+  /// *which* jobs get cut off is not deterministic — only the classification
+  /// is.
+  double wall_timeout_seconds = 0.0;
+  /// Seeded host-side fault injection (service/fault_injection.hpp).
+  FaultInjectionConfig fault_injection;
+};
+
+/// One attempt of one job under a retry policy: which solver ran, with
+/// which scenario seed, and how it ended.
+struct AttemptRecord {
+  int attempt = 0;  ///< 1-based
+  std::string solver;
+  std::uint64_t scenario_seed = 0;
+  /// Simulated backoff charged before this attempt (recorded, never put on
+  /// the engine clock — the embedded solve report stays comparable across
+  /// attempt indices).
+  double backoff_sim_seconds = 0.0;
+  bool ok = false;
+  ErrorClass error_class = ErrorClass::kInternal;
+  std::string error;
+  int iterations = 0;
+  double sim_time = 0.0;
+
+  [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
 /// One job's outcome. `error` is empty on success and carries the
@@ -83,10 +129,16 @@ struct JobResult {
   std::size_t index = 0;  ///< submission index
   std::string name;
   std::string matrix_id;
-  std::string solver;
+  std::string solver;   ///< the *requested* solver (attempts name what ran)
   std::string precond;
   engine::SolveReport report;
   std::string error;
+  /// Classification of `error`; meaningless when ok().
+  ErrorClass error_class = ErrorClass::kInternal;
+  /// Per-attempt history, recorded only when the batch is robust (so the
+  /// v1 JSON stays byte-identical when everything is off).
+  std::vector<AttemptRecord> attempts;
+  bool robust = false;
   /// The job's per-Problem cache counters (deterministic: local misses are
   /// counted whether or not an upstream served them).
   FactorizationCache::Stats problem_cache;
@@ -99,13 +151,17 @@ struct JobResult {
   [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
-/// Whole-batch summary, schema `rpcg-service-report/v1`. `jobs` is always
-/// in submission order regardless of the streaming order.
+/// Whole-batch summary, schema `rpcg-service-report/v1` — or `/v2` when any
+/// robustness feature (retry, deadline, wall timeout, fault injection) is
+/// active. `jobs` is always in submission order regardless of the streaming
+/// order.
 struct ServiceReport {
   std::vector<JobResult> jobs;
   int workers = 0;
   OutputOrder order = OutputOrder::kSubmission;
   bool shared_cache = false;
+  /// Whether any robustness feature was active (selects the /v2 schema).
+  bool robust = false;
   SharedFactorizationCache::Stats shared_stats;
   /// Factorizations actually built: the shared cache's misses when it is
   /// on, the sum of per-Problem misses when it is off. The cache-on vs
@@ -113,6 +169,11 @@ struct ServiceReport {
   /// acceptance metric.
   std::uint64_t total_factorizations = 0;
   std::size_t failed = 0;
+  /// Robustness counters (serialized in the /v2 summary only).
+  std::size_t retries = 0;          ///< attempts beyond each job's first
+  std::size_t escalations = 0;      ///< attempts run on a fallback solver
+  std::size_t degraded = 0;         ///< ok jobs that finished on a fallback
+  std::size_t deadline_misses = 0;  ///< budget-exceeded attempts / cutoffs
   double wall_seconds = 0.0;
   double jobs_per_second = 0.0;
 

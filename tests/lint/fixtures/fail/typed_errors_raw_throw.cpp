@@ -1,0 +1,15 @@
+// lint-fixture: expect(typed-errors)
+// A core-layer failure thrown as a raw std::runtime_error: the service can
+// only classify it as "internal" by falling through classify_exception, so
+// retry policies cannot distinguish it from a genuine bug.
+#include <stdexcept>
+
+namespace rpcg {
+
+void reconstruct_or_die(bool recoverable) {
+  if (!recoverable) {
+    throw std::runtime_error("lost element has no surviving copy");
+  }
+}
+
+}  // namespace rpcg

@@ -1,0 +1,12 @@
+// lint-fixture: expect(typed-errors) path(src/service/typed_errors_service_throw.cpp)
+// The service layer is equally covered: orchestration failures must carry
+// an ErrorClass too.
+#include <stdexcept>
+
+namespace rpcg::service {
+
+void admit_job(int workers) {
+  if (workers < 0) throw std::runtime_error("negative worker count");
+}
+
+}  // namespace rpcg::service

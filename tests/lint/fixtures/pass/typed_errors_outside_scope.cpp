@@ -1,0 +1,12 @@
+// lint-fixture: expect-clean path(tools/bench_driver/typed_errors_outside_scope.cpp)
+// The rule is scoped to src/{core,solver,service}/ — host-side tooling may
+// still throw plain runtime errors.
+#include <stdexcept>
+
+namespace rpcg::bench {
+
+void require_output_dir(bool ok) {
+  if (!ok) throw std::runtime_error("cannot create output directory");
+}
+
+}  // namespace rpcg::bench

@@ -1,0 +1,29 @@
+// lint-fixture: expect-clean
+// The sanctioned shapes: a classified SolverError subclass for solver-stack
+// failures, std::invalid_argument for config-shaped ones. Constructing the
+// runtime_error base inside a subclass is not a raw throw.
+#include <stdexcept>
+#include <string>
+
+namespace rpcg {
+
+enum class ErrorClass { kUnrecoverableFailure };
+
+class SolverError : public std::runtime_error {
+ public:
+  SolverError(ErrorClass c, const std::string& what)
+      : std::runtime_error(what), class_(c) {}
+
+ private:
+  ErrorClass class_;
+};
+
+void reconstruct_or_die(bool recoverable, int phi) {
+  if (phi < 0) throw std::invalid_argument("phi must be >= 0");
+  if (!recoverable) {
+    throw SolverError(ErrorClass::kUnrecoverableFailure,
+                      "lost element has no surviving copy");
+  }
+}
+
+}  // namespace rpcg

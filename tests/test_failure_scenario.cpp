@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -336,6 +337,158 @@ TEST(FailureScenario, ExponentialRejectsBadRates) {
     cfg.rate = bad;
     EXPECT_THROW((void)generate_scenario(cfg, 8), std::invalid_argument)
         << "rate " << bad;
+  }
+}
+
+// ---- the Weibull arrival process -------------------------------------------
+// weibull_shape < 1 models infant-mortality bursts (gaps cluster), > 1
+// wear-out (gaps regularize); shape == 1 *is* the exponential, bit for bit.
+
+TEST(FailureScenario, WeibullShapeOneIsExponentialBitForBit) {
+  for (const std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    FailureScenarioConfig expo = base_config(ScenarioKind::kExponential, seed);
+    expo.events = 8;
+    expo.rate = 0.2;
+    FailureScenarioConfig weib = expo;
+    weib.kind = ScenarioKind::kWeibull;
+    weib.weibull_shape = 1.0;  // pow(x, 1.0) is exact in IEEE arithmetic
+    expect_equal_schedules(generate_scenario(expo, 12),
+                           generate_scenario(weib, 12));
+  }
+}
+
+TEST(FailureScenario, WeibullIsDeterministicAndStructurallySound) {
+  for (const double shape : {0.7, 1.5, 3.0}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      FailureScenarioConfig cfg = base_config(ScenarioKind::kWeibull, seed);
+      cfg.events = 8;
+      cfg.rate = 0.5;
+      cfg.weibull_shape = shape;
+      cfg.max_nodes_per_event = 3;
+      const FailureSchedule s = generate_scenario(cfg, 12);
+      expect_equal_schedules(s, generate_scenario(cfg, 12));
+      ASSERT_EQ(s.events().size(), 8u) << "seed " << seed;
+      int prev = 0;
+      for (const FailureEvent& ev : s.events()) {
+        EXPECT_GT(ev.iteration, prev) << "seed " << seed;
+        prev = ev.iteration;
+        ASSERT_FALSE(ev.nodes.empty());
+        EXPECT_LE(static_cast<int>(ev.nodes.size()), cfg.max_nodes_per_event);
+        EXPECT_TRUE(std::is_sorted(ev.nodes.begin(), ev.nodes.end()));
+        for (const NodeId n : ev.nodes) {
+          EXPECT_GE(n, 0);
+          EXPECT_LT(n, 12);
+        }
+      }
+    }
+  }
+}
+
+TEST(FailureScenario, WeibullShapeControlsGapDispersion) {
+  // The Weibull coefficient of variation falls monotonically in the shape:
+  // sqrt(Gamma(1+2/k)/Gamma(1+1/k)^2 - 1) is ~1.46 at k=0.7, 1 at k=1, and
+  // ~0.36 at k=3. Sample CVs over one long schedule must preserve the
+  // ordering with room to spare.
+  const auto sample_cv = [](double shape) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kWeibull, 77);
+    cfg.events = 3000;
+    cfg.rate = 0.05;
+    cfg.weibull_shape = shape;
+    const FailureSchedule s = generate_scenario(cfg, 16);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int count = 0;
+    for (std::size_t i = 1; i < s.events().size(); ++i) {
+      const double gap = static_cast<double>(s.events()[i].iteration -
+                                             s.events()[i - 1].iteration);
+      sum += gap;
+      sum_sq += gap * gap;
+      ++count;
+    }
+    const double mean = sum / count;
+    const double var = sum_sq / count - mean * mean;
+    return std::sqrt(var) / mean;
+  };
+  const double bursty = sample_cv(0.7);
+  const double memoryless = sample_cv(1.0);
+  const double regular = sample_cv(3.0);
+  EXPECT_GT(bursty, memoryless * 1.1);
+  EXPECT_LT(regular, memoryless * 0.6);
+}
+
+TEST(FailureScenario, WeibullRejectsBadShapes) {
+  for (const double bad :
+       {0.0, -1.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kWeibull, 1);
+    cfg.rate = 0.2;
+    cfg.weibull_shape = bad;
+    EXPECT_THROW((void)generate_scenario(cfg, 8), std::invalid_argument)
+        << "shape " << bad;
+  }
+  // The rate checks cover the Weibull kind exactly as they do exponential.
+  FailureScenarioConfig cfg = base_config(ScenarioKind::kWeibull, 1);
+  cfg.rate = 0.0;
+  EXPECT_THROW((void)generate_scenario(cfg, 8), std::invalid_argument);
+}
+
+// ---- per-node failure-rate skew --------------------------------------------
+
+TEST(FailureScenario, NodeSpreadIsDeterministicAndPreservesShape) {
+  for (const ScenarioKind kind :
+       {ScenarioKind::kCorrelated, ScenarioKind::kCascading,
+        ScenarioKind::kExponential}) {
+    FailureScenarioConfig cfg = base_config(kind, 13);
+    cfg.rate = 0.2;
+    cfg.node_rate_spread = 4.0;
+    const FailureSchedule s = generate_scenario(cfg, 12);
+    expect_equal_schedules(s, generate_scenario(cfg, 12));
+    ASSERT_FALSE(s.empty());
+    for (const FailureEvent& ev : s.events()) {
+      ASSERT_FALSE(ev.nodes.empty());
+      EXPECT_TRUE(std::is_sorted(ev.nodes.begin(), ev.nodes.end()));
+      EXPECT_EQ(std::adjacent_find(ev.nodes.begin(), ev.nodes.end()),
+                ev.nodes.end());  // still distinct
+      for (const NodeId n : ev.nodes) {
+        EXPECT_GE(n, 0);
+        EXPECT_LT(n, 12);
+      }
+    }
+  }
+}
+
+TEST(FailureScenario, NodeSpreadSkewsVictimFrequencies) {
+  // spread = 0 keeps the historical uniform draw; a large spread weights
+  // nodes by seeded per-node factors in [1, 1 + spread], so over a long
+  // schedule the most-hit node must pull clearly ahead of the least-hit.
+  const auto frequencies = [](double spread) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kExponential, 3);
+    cfg.events = 4000;
+    cfg.rate = 0.5;
+    cfg.max_nodes_per_event = 1;
+    cfg.node_rate_spread = spread;
+    const FailureSchedule s = generate_scenario(cfg, 8);
+    std::vector<int> counts(8, 0);
+    for (const FailureEvent& ev : s.events()) ++counts[ev.nodes.front()];
+    return counts;
+  };
+  const std::vector<int> uniform = frequencies(0.0);
+  const std::vector<int> skewed = frequencies(8.0);
+  const auto [umin, umax] = std::minmax_element(uniform.begin(), uniform.end());
+  const auto [smin, smax] = std::minmax_element(skewed.begin(), skewed.end());
+  // Uniform stays within a loose statistical band; the skewed draw does not.
+  EXPECT_LT(static_cast<double>(*umax), 1.5 * static_cast<double>(*umin));
+  EXPECT_GT(static_cast<double>(*smax), 2.0 * static_cast<double>(*smin));
+}
+
+TEST(FailureScenario, NodeSpreadRejectsBadValues) {
+  for (const double bad :
+       {-0.5, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    FailureScenarioConfig cfg = base_config(ScenarioKind::kCorrelated, 1);
+    cfg.node_rate_spread = bad;
+    EXPECT_THROW((void)generate_scenario(cfg, 8), std::invalid_argument)
+        << "spread " << bad;
   }
 }
 

@@ -4,7 +4,13 @@
 //                   --precond bjacobi --failures 10:0:2 --recovery esr ...]
 //   rpcg-cli batch --jobs FILE [--workers N --max-in-flight N
 //                   --order submission|completion --shared-cache=BOOL
-//                   --shared-cache-capacity N --out FILE]
+//                   --shared-cache-capacity N --out FILE
+//                   --retry N --fallbacks a,b --retry-backoff S
+//                   --retry-backoff-multiplier M --retry-seed-bump K
+//                   --deadline SIM_S --wall-timeout WALL_S
+//                   --inject-seed K --inject-cache-rate P
+//                   --inject-worker-rate P --inject-cache-first N
+//                   --inject-worker-first N]
 //   rpcg-cli list-solvers
 //   rpcg-cli list-preconds
 //
@@ -144,14 +150,54 @@ int cmd_batch(const Options& opts) {
   sopts.order = opts.get_enum<rpcg::service::OutputOrder>(
       "order", rpcg::service::OutputOrder::kSubmission);
 
+  // Batch-wide robustness defaults; per-job "retry"/"fallbacks" keys in the
+  // job file override the whole policy. Any of these flags flips the report
+  // to the rpcg-service-report/v2 schema.
+  sopts.retry.max_attempts = static_cast<int>(opts.get_int("retry", 1));
+  const std::string fallbacks = opts.get_string("fallbacks", "");
+  for (std::size_t pos = 0; pos < fallbacks.size();) {
+    auto comma = fallbacks.find(',', pos);
+    if (comma == std::string::npos) comma = fallbacks.size();
+    if (comma > pos) {
+      sopts.retry.fallbacks.push_back(fallbacks.substr(pos, comma - pos));
+    }
+    pos = comma + 1;
+  }
+  sopts.retry.backoff_sim_seconds = opts.get_double("retry-backoff", 0.0);
+  sopts.retry.backoff_multiplier =
+      opts.get_double("retry-backoff-multiplier", 2.0);
+  sopts.retry.seed_bump =
+      static_cast<std::uint64_t>(opts.get_int("retry-seed-bump", 1));
+  sopts.default_deadline_sim_seconds = opts.get_double("deadline", 0.0);
+  sopts.wall_timeout_seconds = opts.get_double("wall-timeout", 0.0);
+  sopts.fault_injection.seed =
+      static_cast<std::uint64_t>(opts.get_int("inject-seed", 0));
+  sopts.fault_injection.cache_build_failure_rate =
+      opts.get_double("inject-cache-rate", 0.0);
+  sopts.fault_injection.worker_fault_rate =
+      opts.get_double("inject-worker-rate", 0.0);
+  sopts.fault_injection.cache_fail_first_attempts =
+      static_cast<int>(opts.get_int("inject-cache-first", 0));
+  sopts.fault_injection.worker_fail_first_attempts =
+      static_cast<int>(opts.get_int("inject-worker-first", 0));
+  sopts.fault_injection.enabled =
+      sopts.fault_injection.cache_build_failure_rate > 0.0 ||
+      sopts.fault_injection.worker_fault_rate > 0.0 ||
+      sopts.fault_injection.cache_fail_first_attempts > 0 ||
+      sopts.fault_injection.worker_fail_first_attempts > 0;
+
   const std::size_t total = jobs.size();
   std::size_t emitted = 0;
   const auto progress = [&emitted, total](const rpcg::service::JobResult& r) {
     ++emitted;
-    std::fprintf(stderr, "[%zu/%zu] %-5s %s (%s, %s/%s) %.3fs\n", emitted,
+    std::string note;
+    if (r.attempts.size() > 1) {
+      note = " [" + std::to_string(r.attempts.size()) + " attempts]";
+    }
+    std::fprintf(stderr, "[%zu/%zu] %-5s %s (%s, %s/%s) %.3fs%s\n", emitted,
                  total, r.ok() ? "ok" : "FAIL", r.name.c_str(),
                  r.matrix_id.c_str(), r.solver.c_str(), r.precond.c_str(),
-                 r.wall_seconds);
+                 r.wall_seconds, note.c_str());
   };
   const rpcg::service::ServiceReport summary =
       rpcg::service::SolverService(sopts).run(jobs, progress);

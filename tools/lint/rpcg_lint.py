@@ -54,6 +54,14 @@ Rules (run with --list-rules for the one-line form):
                        simulated costs belong inside the engine a job runs,
                        never in the scheduler around it.
 
+  typed-errors         No raw ``throw std::runtime_error(...)`` under
+                       src/core/, src/solver/, or src/service/: failures in
+                       taxonomy-covered layers must throw a classified
+                       SolverError subclass (core/errors.hpp) — or
+                       std::invalid_argument for config-shaped errors — so
+                       the service's retry/escalation machinery can act on
+                       the error class instead of parsing message strings.
+
   header-pragma-once   Every header starts with #pragma once (first
                        non-comment, non-blank line).
 
@@ -141,6 +149,10 @@ SERVICE_CHARGE_RE = re.compile(
     r"|charge|set_clock_noise)\s*\("
 )
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+# Raw runtime_error throws in taxonomy-covered layers; constructing the base
+# inside a SolverError subclass is fine (no `throw` keyword in front).
+TYPED_ERRORS_RE = re.compile(r"\bthrow\s+std::runtime_error\s*\(")
+TYPED_ERROR_DIRS = ("src/core/", "src/solver/", "src/service/")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 
 
@@ -333,6 +345,20 @@ def check_sim_time(ctx: FileContext) -> None:
                     "not in the scheduler around it")
 
 
+def check_typed_errors(ctx: FileContext) -> None:
+    if not any(ctx.in_dir(d) for d in TYPED_ERROR_DIRS):
+        return
+    for lineno, line in enumerate(ctx.code_lines, start=1):
+        if TYPED_ERRORS_RE.search(line):
+            ctx.report(
+                "typed-errors", lineno,
+                "raw 'throw std::runtime_error' in a taxonomy-covered layer — "
+                "throw a classified SolverError subclass from core/errors.hpp "
+                "(UnrecoverableFailure, DivergenceError, BudgetExceeded, "
+                "CacheBuildFailure, or SolverError{ErrorClass::..., msg}) so "
+                "the service can classify the failure without parsing strings")
+
+
 def check_header_hygiene(ctx: FileContext) -> None:
     if not ctx.is_header:
         return
@@ -360,6 +386,7 @@ CHECKS = (
     check_unordered_iteration,
     check_split_phase,
     check_sim_time,
+    check_typed_errors,
     check_header_hygiene,
 )
 
@@ -372,6 +399,8 @@ RULE_SUMMARY = {
                    " ring-stored posts need a drain loop",
     "sim-time": "SimClock is mutated only under src/sim/; charge via Cluster"
                 " (and src/service/ never charges at all)",
+    "typed-errors": "no raw 'throw std::runtime_error' in src/{core,solver,"
+                    "service}/ — throw a classified SolverError subclass",
     "header-pragma-once": "headers start with #pragma once",
     "header-using-namespace": "no using-directives in headers",
     "suppression": "every allow()/allow-file() states a reason",
